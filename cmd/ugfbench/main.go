@@ -1,0 +1,208 @@
+// Command ugfbench regenerates the figures and tables of "The Universal
+// Gossip Fighter": one experiment per paper artifact (see DESIGN.md §3).
+// It prints text tables, ASCII charts and machine-checked shape notes, and
+// optionally writes CSV and Markdown files per experiment.
+//
+// Examples:
+//
+//	ugfbench -list
+//	ugfbench -exp fig3b                      # one panel, quick fidelity
+//	ugfbench -exp all -fidelity medium -out results/
+//	ugfbench -exp fig3e -fidelity full       # the paper's exact setting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/ugf-sim/ugf/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ugfbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ugfbench", flag.ContinueOnError)
+	var (
+		expID = fs.String("exp", "all",
+			"experiment id or \"all\": "+strings.Join(experiments.IDs(), "|"))
+		fidelity = fs.String("fidelity", "quick", "quick|medium|full (full = the paper's 50-run grid)")
+		outDir   = fs.String("out", "", "directory for CSV and Markdown output (optional)")
+		summary  = fs.String("summary", "", "write a combined claims-status Markdown table to this file")
+		seed     = fs.Uint64("seed", 0, "base seed (0: default 2022)")
+		workers  = fs.Int("workers", 0, "parallel runs (0: GOMAXPROCS)")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		progress = fs.Bool("progress", true, "print run progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "%-12s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	fid, err := experiments.ParseFidelity(*fidelity)
+	if err != nil {
+		return err
+	}
+
+	var selected []experiments.Experiment
+	if *expID == "all" {
+		selected = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*expID)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %s)", *expID, strings.Join(experiments.IDs(), ", "))
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	var reports []*experiments.Report
+	for _, e := range selected {
+		cfg := experiments.Config{Fidelity: fid, Workers: *workers, BaseSeed: *seed}
+		if *progress {
+			cfg.Progress = progressPrinter(e.ID)
+		}
+		start := time.Now()
+		rep, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		if *progress {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
+		if err := render(out, rep, time.Since(start)); err != nil {
+			return err
+		}
+		if *outDir != "" {
+			if err := writeFiles(*outDir, rep); err != nil {
+				return err
+			}
+		}
+		reports = append(reports, rep)
+	}
+	if *summary != "" {
+		if err := writeSummary(*summary, reports); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSummary renders the combined claims-status table: one row per
+// claim verdict found in the reports' notes.
+func writeSummary(path string, reports []*experiments.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "| experiment | claim | status |")
+	fmt.Fprintln(f, "| --- | --- | --- |")
+	for _, rep := range reports {
+		for _, note := range rep.Notes {
+			claim, status, ok := splitVerdict(note)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(f, "| `%s` | %s | %s |\n", rep.ID, claim, status)
+		}
+	}
+	return nil
+}
+
+// splitVerdict extracts (claim, status) from a "… claim …: REPRODUCED"
+// note; trailing commentary after the verdict stays with the claim.
+// Notes without a verdict are skipped.
+func splitVerdict(note string) (claim, status string, ok bool) {
+	for _, v := range []string{"NOT reproduced", "REPRODUCED"} {
+		suffix := ": " + v
+		if idx := strings.LastIndex(note, suffix); idx >= 0 {
+			claim = note[:idx]
+			if rest := strings.TrimSpace(note[idx+len(suffix):]); rest != "" {
+				claim += " " + rest
+			}
+			return claim, v, true
+		}
+	}
+	return "", "", false
+}
+
+func progressPrinter(id string) func(done, total int) {
+	return func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d runs", id, done, total)
+	}
+}
+
+func render(w io.Writer, rep *experiments.Report, elapsed time.Duration) error {
+	fmt.Fprintf(w, "==== %s — %s (fidelity: %s, %v) ====\n", rep.ID, rep.Title, rep.Fidelity, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "paper: %s\n\n", rep.Paper)
+	for _, t := range rep.Tables {
+		if err := t.Text(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	for _, c := range rep.Charts {
+		fmt.Fprintln(w, c.Render())
+	}
+	for _, n := range rep.Notes {
+		fmt.Fprintf(w, "  - %s\n", n)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func writeFiles(dir string, rep *experiments.Report) error {
+	md, err := os.Create(filepath.Join(dir, rep.ID+".md"))
+	if err != nil {
+		return err
+	}
+	defer md.Close()
+	fmt.Fprintf(md, "## %s — %s\n\n*Fidelity: %s.*\n\n**Paper:** %s\n\n", rep.ID, rep.Title, rep.Fidelity, rep.Paper)
+	for i, t := range rep.Tables {
+		if err := t.Markdown(md); err != nil {
+			return err
+		}
+		fmt.Fprintln(md)
+		csvPath := filepath.Join(dir, fmt.Sprintf("%s_%d.csv", rep.ID, i))
+		cf, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := t.CSV(cf); err != nil {
+			cf.Close()
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
+	}
+	for _, c := range rep.Charts {
+		fmt.Fprintf(md, "```\n%s```\n\n", c.Render())
+	}
+	fmt.Fprintln(md, "**Findings:**")
+	for _, n := range rep.Notes {
+		fmt.Fprintf(md, "- %s\n", n)
+	}
+	return nil
+}

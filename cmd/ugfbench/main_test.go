@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestList(t *testing.T) {
+	out, err := runCLI(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig3a", "fig3e", "lemma45", "tradeoff", "adaptation"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	out, err := runCLI(t, "-exp", "example1", "-progress=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"example1", "paper:", "REPRODUCED", "fidelity: quick"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOutputFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := runCLI(t, "-exp", "lemma45", "-out", dir, "-progress=false"); err != nil {
+		t.Fatal(err)
+	}
+	md, err := os.ReadFile(filepath.Join(dir, "lemma45.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "Lemma") || !strings.Contains(string(md), "**Findings:**") {
+		t.Errorf("markdown incomplete:\n%s", md)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "lemma45_0.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "t,lemma,empirical") {
+		t.Errorf("csv header wrong: %q", strings.SplitN(string(csv), "\n", 2)[0])
+	}
+}
+
+func TestSummaryFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "summary.md")
+	if _, err := runCLI(t, "-exp", "example1", "-summary", path, "-progress=false"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "| `example1` |") || !strings.Contains(s, "REPRODUCED") {
+		t.Errorf("summary incomplete:\n%s", s)
+	}
+}
+
+func TestSplitVerdict(t *testing.T) {
+	cases := []struct {
+		note, claim, status string
+		ok                  bool
+	}{
+		{"paper claim — X: REPRODUCED", "paper claim — X", "REPRODUCED", true},
+		{"paper claim — Y: NOT reproduced", "paper claim — Y", "NOT reproduced", true},
+		{"designation — Z: NOT reproduced (commentary)", "designation — Z (commentary)", "NOT reproduced", true},
+		{"just a note", "", "", false},
+	}
+	for _, c := range cases {
+		claim, status, ok := splitVerdict(c.note)
+		if ok != c.ok || claim != c.claim || status != c.status {
+			t.Errorf("splitVerdict(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.note, claim, status, ok, c.claim, c.status, c.ok)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "bogus"},
+		{"-fidelity", "bogus"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v: no error", args)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Command ugfsim runs single gossip-dissemination scenarios under attack
+// by the Universal Gossip Fighter (or any other adversary of the library)
+// and reports the paper's complexity measures.
+//
+// Examples:
+//
+//	ugfsim -protocol ears -adversary ugf -n 100 -f 30
+//	ugfsim -protocol push-pull -adversary strategy-2.1.1 -n 200 -f 60 -runs 20
+//	ugfsim -protocol sears -n 50 -f 15 -trace
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/ugf-sim/ugf"
+	"github.com/ugf-sim/ugf/internal/plot"
+	"github.com/ugf-sim/ugf/internal/runner"
+	"github.com/ugf-sim/ugf/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ugfsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ugfsim", flag.ContinueOnError)
+	var (
+		protoName = fs.String("protocol", "push-pull",
+			"gossip protocol: "+strings.Join(ugf.ProtocolNames(), "|"))
+		advName = fs.String("adversary", "none",
+			"adversary: "+strings.Join(ugf.AdversaryNames(), "|"))
+		n          = fs.Int("n", 100, "number of processes N")
+		f          = fs.Int("f", -1, "crash budget F (default 0.3N)")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		runs       = fs.Int("runs", 1, "repetitions (summary statistics when > 1)")
+		workers    = fs.Int("workers", 0, "parallel runs (0: GOMAXPROCS)")
+		trace      = fs.Bool("trace", false, "print the event trace (runs=1 only)")
+		quiet      = fs.Bool("q", false, "print outcome line(s) only")
+		asJSON     = fs.Bool("json", false, "emit outcomes as JSON lines instead of text")
+		curve      = fs.Bool("curve", false, "print the dissemination curve (runs=1 only)")
+		curveEvery = fs.Int64("curve-every", 1, "global steps between curve samples")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	proto, ok := ugf.ProtocolByName(*protoName)
+	if !ok {
+		return fmt.Errorf("unknown protocol %q (have %s)", *protoName, strings.Join(ugf.ProtocolNames(), ", "))
+	}
+	adv, ok := ugf.AdversaryByName(*advName)
+	if !ok {
+		return fmt.Errorf("unknown adversary %q (have %s)", *advName, strings.Join(ugf.AdversaryNames(), ", "))
+	}
+	if *n < 1 {
+		return fmt.Errorf("n = %d, need ≥ 1", *n)
+	}
+	budget := *f
+	if budget < 0 {
+		budget = int(0.3 * float64(*n))
+	}
+
+	cfg := ugf.Config{N: *n, F: budget, Protocol: proto, Adversary: adv, Seed: *seed}
+
+	emit := func(o ugf.Outcome) error {
+		if *asJSON {
+			return json.NewEncoder(out).Encode(o)
+		}
+		_, err := fmt.Fprintln(out, o)
+		return err
+	}
+
+	if *runs <= 1 {
+		var rec *ugf.Recorder
+		if *trace {
+			rec = &ugf.Recorder{}
+			cfg.Trace = rec
+		}
+		if *curve {
+			cfg.SampleEvery = ugf.Step(*curveEvery)
+			cfg.Sample = func(s ugf.Snapshot) {
+				fmt.Fprintf(out, "t=%-8d coverage=%.3f awake=%-4d M=%d\n",
+					s.Now, s.Coverage, s.AwakeCorrect, s.Messages)
+			}
+		}
+		o, err := ugf.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if rec != nil {
+			for _, ev := range rec.Events {
+				fmt.Fprintln(out, ev)
+			}
+		}
+		return emit(o)
+	}
+
+	specs := []runner.Spec{{
+		Name: *protoName + "/" + *advName,
+		Base: cfg,
+		Runs: *runs, BaseSeed: *seed,
+	}}
+	results, err := runner.Execute(specs, *workers, nil)
+	if err != nil {
+		return err
+	}
+	outs := results[0].Outcomes
+	if !*quiet {
+		for _, o := range outs {
+			if err := emit(o); err != nil {
+				return err
+			}
+		}
+	}
+	if *asJSON {
+		return nil // JSON mode emits machine-readable lines only
+	}
+	table := &plot.Table{
+		Title:   fmt.Sprintf("%s vs %s: N=%d F=%d, %d runs", *protoName, *advName, *n, budget, *runs),
+		Columns: []string{"metric", "median", "Q1", "Q3", "mean", "min", "max"},
+	}
+	for _, m := range []struct {
+		name string
+		xs   []float64
+	}{
+		{"time T(O)", runner.Times(outs)},
+		{"messages M(O)", runner.Messages(outs)},
+	} {
+		s := stats.Summarize(m.xs)
+		table.AddRow(m.name, s.Median, s.Q1, s.Q3, s.Mean, s.Min, s.Max)
+	}
+	if err := table.Text(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "rumor gathering: %.0f%%   cutoffs: %.0f%%\n",
+		100*runner.GatheredRate(outs), 100*runner.CutoffRate(outs))
+	labels := map[string]int{}
+	for _, o := range outs {
+		if o.Strategy != "" {
+			labels[o.Strategy]++
+		}
+	}
+	if len(labels) > 0 {
+		fmt.Fprintf(out, "strategies drawn: ")
+		first := true
+		for _, o := range []string{"1", "2.1.0", "2.1.1"} {
+			if c, ok := labels[o]; ok {
+				if !first {
+					fmt.Fprint(out, ", ")
+				}
+				fmt.Fprintf(out, "%s×%d", o, c)
+				first = false
+				delete(labels, o)
+			}
+		}
+		for lbl, c := range labels {
+			if !first {
+				fmt.Fprint(out, ", ")
+			}
+			fmt.Fprintf(out, "%s×%d", lbl, c)
+			first = false
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

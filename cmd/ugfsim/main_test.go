@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestSingleRun(t *testing.T) {
+	out, err := runCLI(t, "-protocol", "push-pull", "-n", "20", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "push-pull vs none") {
+		t.Errorf("missing outcome line:\n%s", out)
+	}
+	if !strings.Contains(out, "gathered=true") {
+		t.Errorf("baseline run failed gathering:\n%s", out)
+	}
+}
+
+func TestDefaultFIsThirtyPercent(t *testing.T) {
+	out, err := runCLI(t, "-protocol", "ears", "-adversary", "strategy-1", "-n", "40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "F=12") {
+		t.Errorf("expected F=12 for N=40:\n%s", out)
+	}
+}
+
+func TestMultiRunSummary(t *testing.T) {
+	out, err := runCLI(t, "-protocol", "ears", "-adversary", "ugf", "-n", "30", "-f", "9", "-runs", "6", "-q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"time T(O)", "messages M(O)", "rumor gathering", "strategies drawn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ears vs ugf[") {
+		t.Error("-q must suppress per-run outcome lines")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	out, err := runCLI(t, "-protocol", "broadcast", "-n", "3", "-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "send") || !strings.Contains(out, "arrive") {
+		t.Errorf("trace missing events:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out, err := runCLI(t, "-protocol", "ears", "-n", "10", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o struct {
+		Protocol string
+		N        int
+		Gathered bool
+	}
+	if err := json.Unmarshal([]byte(out), &o); err != nil {
+		t.Fatalf("invalid JSON %q: %v", out, err)
+	}
+	if o.Protocol != "ears" || o.N != 10 {
+		t.Errorf("unexpected JSON outcome: %+v", o)
+	}
+}
+
+func TestJSONMultiRun(t *testing.T) {
+	out, err := runCLI(t, "-protocol", "ears", "-n", "10", "-runs", "3", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 JSON lines, got %d:\n%s", len(lines), out)
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("invalid JSON line %q", line)
+		}
+	}
+}
+
+func TestCurveOutput(t *testing.T) {
+	out, err := runCLI(t, "-protocol", "push-pull", "-n", "8", "-curve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "coverage=") {
+		t.Fatalf("no curve samples:\n%s", out)
+	}
+	if !strings.Contains(out, "coverage=1.000") {
+		t.Errorf("curve never reached full coverage:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "bogus"},
+		{"-adversary", "bogus"},
+		{"-n", "0"},
+		{"-definitely-not-a-flag"},
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v: no error", args)
+		}
+	}
+}

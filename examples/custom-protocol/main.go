@@ -1,0 +1,147 @@
+// Custom protocol: how to implement your own all-to-all gossip protocol
+// against the library's engine — and what happens when UGF attacks it.
+//
+// The protocol implemented here is a minimal random walk: every process
+// forwards everything it knows to one uniformly random process per local
+// step. Two details make it a *valid* all-to-all protocol (and both are
+// lessons in miniature — a first draft without them livelocks):
+//
+//  1. Completion needs a timeout. "Sleep once I know all N gossips" never
+//     triggers when the adversary crashes processes whose gossips are
+//     gone, so a process also sleeps after a quiet window with no news —
+//     and wakes when news arrives (Definition IV.2 of the paper).
+//
+//  2. Sleeping processes must answer laggards. A process that finished
+//     while a peer is still missing gossips would otherwise absorb that
+//     peer's messages forever without helping it — the peer starves.
+//
+//     go run ./examples/custom-protocol
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/ugf-sim/ugf"
+)
+
+// walkProtocol implements ugf.Protocol.
+type walkProtocol struct{}
+
+func (walkProtocol) Name() string { return "random-walk" }
+
+func (walkProtocol) New(envs []ugf.Env) []ugf.Process {
+	procs := make([]ugf.Process, len(envs))
+	for i, env := range envs {
+		p := &walkProc{
+			env:    env,
+			known:  make(map[ugf.ProcID]bool, env.N),
+			window: 4 * int(math.Ceil(math.Log2(float64(env.N+1)))),
+		}
+		p.known[env.ID] = true
+		procs[i] = p
+	}
+	return procs
+}
+
+// walkPayload carries the sender's entire gossip set. Payloads are shared
+// between recipients, so the slice must be treated as immutable.
+type walkPayload struct {
+	gossips []ugf.ProcID
+}
+
+func (walkPayload) Kind() string { return "walk" }
+
+// walkProc implements ugf.Process.
+type walkProc struct {
+	env    ugf.Env
+	known  map[ugf.ProcID]bool
+	quiet  int
+	window int
+}
+
+func (p *walkProc) Step(now ugf.Step, delivered []ugf.Message, out *ugf.Outbox) {
+	news := false
+	var lagging []ugf.ProcID
+	for _, m := range delivered {
+		pl := m.Payload.(walkPayload)
+		for _, g := range pl.gossips {
+			if !p.known[g] {
+				p.known[g] = true
+				news = true
+			}
+		}
+		if len(pl.gossips) < len(p.known) {
+			lagging = append(lagging, m.From)
+		}
+	}
+	if news {
+		p.quiet = 0
+	} else {
+		p.quiet++
+	}
+	if p.env.N == 1 {
+		return
+	}
+	if p.Asleep() {
+		// Rule 2: help starving peers even while asleep.
+		snapshot := p.snapshot()
+		for _, q := range lagging {
+			out.Send(q, walkPayload{gossips: snapshot})
+		}
+		return
+	}
+	to := ugf.ProcID(p.env.RNG.IntnExcept(p.env.N, int(p.env.ID)))
+	out.Send(to, walkPayload{gossips: p.snapshot()})
+}
+
+func (p *walkProc) snapshot() []ugf.ProcID {
+	out := make([]ugf.ProcID, 0, len(p.known))
+	for g := range p.known {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Asleep: everything known, or nothing new for a full quiet window
+// (rule 1). The engine re-runs Step when mail arrives, so news wakes the
+// process back up.
+func (p *walkProc) Asleep() bool {
+	return len(p.known) == p.env.N || p.quiet >= p.window
+}
+
+func (p *walkProc) Knows(g ugf.ProcID) bool { return p.known[g] }
+
+func main() {
+	const n, f, seed = 80, 24, 11
+
+	for _, scenario := range []struct {
+		label string
+		adv   ugf.Adversary
+	}{
+		{"no adversary      ", nil},
+		{"UGF (universal)   ", ugf.UGF{FixedK: 1, FixedL: 1}},
+		{"strategy 1 only   ", ugf.Strategy1{}},
+		{"strategy 2.1.0    ", ugf.Strategy2K0{}},
+		{"strategy 2.1.1    ", ugf.Strategy2KL{}},
+	} {
+		o, err := ugf.Run(ugf.Config{
+			N: n, F: f,
+			Protocol:  walkProtocol{},
+			Adversary: scenario.adv,
+			Seed:      seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s T=%8.1f  M=%8d  gathered=%-5v strategy=%s\n",
+			scenario.label, o.Time, o.Messages, o.Gathered, o.Strategy)
+	}
+
+	fmt.Println()
+	fmt.Println("UGF was written years before this protocol existed — universality means it")
+	fmt.Println("never needed to know. The timeout that makes the protocol terminate under")
+	fmt.Println("crashes is also what the delay strategies exploit: quiet processes give up")
+	fmt.Println("waiting, and the delayed gossips must wake the whole system again later.")
+}

@@ -1,0 +1,60 @@
+// Quickstart: run one gossip dissemination with no adversary and one under
+// attack by the Universal Gossip Fighter, and compare the paper's two
+// complexity measures.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ugf-sim/ugf"
+)
+
+func main() {
+	const (
+		n    = 100
+		f    = 30 // the paper's experimental setting F = 0.3N
+		seed = 7
+	)
+
+	baseline, err := ugf.Run(ugf.Config{
+		N: n, F: f,
+		Protocol: ugf.PushPull{},
+		Seed:     seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	attacked, err := ugf.Run(ugf.Config{
+		N: n, F: f,
+		Protocol: ugf.PushPull{},
+		// FixedK/FixedL = 1 and τ = F is the configuration of the
+		// paper's experimental section (V-A3).
+		Adversary: ugf.UGF{FixedK: 1, FixedL: 1},
+		Seed:      seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Push-Pull gossip dissemination, N =", n, "processes:")
+	fmt.Println()
+	fmt.Println("  without adversary: ", baseline)
+	fmt.Println("  under UGF attack:  ", attacked)
+	fmt.Println()
+	fmt.Printf("UGF drew strategy %s and made the dissemination %.1fx slower in time\n",
+		attacked.Strategy, ratio(attacked.Time, baseline.Time))
+	fmt.Printf("and %.1fx more expensive in messages — while the protocol never learned\n",
+		ratio(float64(attacked.Messages), float64(baseline.Messages)))
+	fmt.Println("which of UGF's strategies it was facing.")
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

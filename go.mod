@@ -1,0 +1,3 @@
+module github.com/ugf-sim/ugf
+
+go 1.22

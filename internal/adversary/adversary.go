@@ -1,0 +1,141 @@
+// Package adversary provides the non-UGF adversaries the paper discusses
+// around its main contribution:
+//
+//   - Oblivious — an adversary that commits to all its crashes before the
+//     execution starts (Section VI contrasts it with adaptive adversaries;
+//     [14] shows oblivious adversaries are not powerful enough to harm a
+//     gossip dissemination, which the `oblivious` experiment reproduces);
+//   - Omission — the Section VII future-work variant that silently drops
+//     messages from the controlled set instead of delaying them.
+//
+// The Universal Gossip Fighter itself and its component strategies live in
+// package core.
+package adversary
+
+import (
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+// Oblivious crashes F uniformly chosen processes at uniformly chosen,
+// pre-committed global steps. It sees nothing of the execution: victims
+// and times are fixed before step 1, which is precisely what makes it
+// oblivious (and, per [14], ineffective).
+type Oblivious struct {
+	// MaxTime bounds the crash times (uniform on [1, MaxTime]);
+	// 0 means 2N.
+	MaxTime sim.Step
+}
+
+// Name implements sim.Adversary.
+func (Oblivious) Name() string { return "oblivious" }
+
+// New implements sim.Adversary.
+func (o Oblivious) New(n, f int, rng *xrand.RNG) sim.AdversaryInstance {
+	maxTime := o.MaxTime
+	if maxTime == 0 {
+		maxTime = sim.Step(2 * n)
+	}
+	inst := &obliviousInstance{}
+	for _, v := range rng.SampleInts(n, f) {
+		inst.plan = append(inst.plan, plannedCrash{
+			victim: sim.ProcID(v),
+			at:     1 + sim.Step(rng.Int63n(int64(maxTime))),
+		})
+	}
+	return inst
+}
+
+type plannedCrash struct {
+	victim sim.ProcID
+	at     sim.Step
+}
+
+type obliviousInstance struct {
+	plan []plannedCrash
+}
+
+func (o *obliviousInstance) Init(sim.View, sim.Control) {}
+
+// Observe executes the pre-committed plan: each victim is crashed at the
+// first observed step at or after its planned time. (Steps at which
+// nothing can happen are skipped by the engine; crashing a process during
+// such a step would be indistinguishable from crashing it at the next
+// active one.)
+func (o *obliviousInstance) Observe(now sim.Step, _ []sim.SendRecord, view sim.View, ctl sim.Control) {
+	for i := 0; i < len(o.plan); {
+		if o.plan[i].at <= now {
+			ctl.Crash(o.plan[i].victim)
+			o.plan[i] = o.plan[len(o.plan)-1]
+			o.plan = o.plan[:len(o.plan)-1]
+			continue
+		}
+		i++
+	}
+}
+
+func (o *obliviousInstance) Label() string { return "" }
+
+// Omission is the stronger adversary of the paper's future-work section:
+// instead of delaying the messages of the controlled set C (a uniform
+// F/2-sample, as in UGF), it makes the network silently drop them. Sends
+// still count toward M(O) — the processes did the work — but nothing
+// arrives until the drop budget is spent, after which the network heals.
+type Omission struct {
+	// DropBudget is the number of messages from C to drop before the
+	// attack stops; 0 means F².
+	DropBudget int64
+}
+
+// Name implements sim.Adversary.
+func (Omission) Name() string { return "omission" }
+
+// New implements sim.Adversary.
+func (o Omission) New(n, f int, rng *xrand.RNG) sim.AdversaryInstance {
+	if f/2 == 0 {
+		return &omissionInstance{}
+	}
+	budget := o.DropBudget
+	if budget == 0 {
+		budget = int64(f) * int64(f)
+	}
+	inst := &omissionInstance{budget: budget, inC: make(map[sim.ProcID]bool)}
+	for _, v := range rng.SampleInts(n, f/2) {
+		inst.c = append(inst.c, sim.ProcID(v))
+		inst.inC[sim.ProcID(v)] = true
+	}
+	return inst
+}
+
+type omissionInstance struct {
+	c       []sim.ProcID
+	inC     map[sim.ProcID]bool
+	budget  int64
+	dropped int64
+	healed  bool
+}
+
+func (o *omissionInstance) Init(view sim.View, ctl sim.Control) {
+	for _, p := range o.c {
+		ctl.SetOmitFrom(p, true)
+	}
+}
+
+func (o *omissionInstance) Observe(now sim.Step, events []sim.SendRecord, view sim.View, ctl sim.Control) {
+	if o.healed || len(o.c) == 0 {
+		return
+	}
+	for _, ev := range events {
+		if o.inC[ev.From] {
+			o.dropped++
+		}
+	}
+	if o.dropped >= o.budget {
+		o.healed = true
+		for _, p := range o.c {
+			ctl.SetOmitFrom(p, false)
+		}
+	}
+}
+
+func (o *omissionInstance) Label() string { return "" }

@@ -1,0 +1,121 @@
+package adversary
+
+import (
+	"testing"
+
+	"github.com/ugf-sim/ugf/internal/gossip"
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+func run(t *testing.T, cfg sim.Config) sim.Outcome {
+	t.Helper()
+	o, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return o
+}
+
+func TestObliviousCrashesWithinBudget(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		o := run(t, sim.Config{
+			N: 30, F: 9, Protocol: gossip.EARS{}, Adversary: Oblivious{}, Seed: seed,
+		})
+		if o.HorizonHit {
+			t.Fatalf("seed %d: horizon hit", seed)
+		}
+		if o.Crashed > 9 {
+			t.Fatalf("seed %d: crashed %d > F", seed, o.Crashed)
+		}
+		if !o.Gathered {
+			t.Errorf("seed %d: survivors failed to gather", seed)
+		}
+	}
+}
+
+func TestObliviousCrashesEventuallyHappen(t *testing.T) {
+	// With MaxTime=1 all crashes land at the first active step.
+	o := run(t, sim.Config{
+		N: 20, F: 6, Protocol: gossip.PushPull{}, Adversary: Oblivious{MaxTime: 1}, Seed: 3,
+	})
+	if o.Crashed != 6 {
+		t.Errorf("Crashed = %d, want 6", o.Crashed)
+	}
+	if o.Strategy != "" {
+		t.Errorf("oblivious adversary has no strategy label, got %q", o.Strategy)
+	}
+}
+
+func TestObliviousIsWeak(t *testing.T) {
+	// Section VI / [14]: the oblivious adversary is not powerful enough
+	// to harm the dissemination — complexities stay within a small factor
+	// of the no-adversary baseline.
+	const n, f = 80, 24
+	var baseT, obT float64
+	var baseM, obM int64
+	for seed := uint64(0); seed < 5; seed++ {
+		b := run(t, sim.Config{N: n, F: f, Protocol: gossip.PushPull{}, Seed: seed})
+		o := run(t, sim.Config{N: n, F: f, Protocol: gossip.PushPull{}, Adversary: Oblivious{}, Seed: seed})
+		baseT += b.Time
+		obT += o.Time
+		baseM += b.Messages
+		obM += o.Messages
+	}
+	if obT > 3*baseT {
+		t.Errorf("oblivious tripled time: %.1f vs baseline %.1f", obT, baseT)
+	}
+	if obM > 2*baseM {
+		t.Errorf("oblivious doubled messages: %d vs baseline %d", obM, baseM)
+	}
+}
+
+func TestOmissionDropsThenHeals(t *testing.T) {
+	o := run(t, sim.Config{
+		N: 20, F: 6, Protocol: gossip.EARS{}, Adversary: Omission{DropBudget: 50}, Seed: 1,
+		MaxEvents: 5_000_000,
+	})
+	if o.HorizonHit {
+		t.Fatal("omission run did not terminate after healing")
+	}
+	if !o.Gathered {
+		t.Error("after the drop budget heals, gathering must complete")
+	}
+	if o.Crashed != 0 {
+		t.Errorf("omission adversary crashed %d processes", o.Crashed)
+	}
+}
+
+func TestOmissionNoBudgetIsIdle(t *testing.T) {
+	// F = 1 means |C| = 0: the omission adversary degenerates to a no-op.
+	base := run(t, sim.Config{N: 15, F: 1, Protocol: gossip.PushPull{}, Seed: 2})
+	om := run(t, sim.Config{N: 15, F: 1, Protocol: gossip.PushPull{}, Adversary: Omission{}, Seed: 2})
+	if base.Messages != om.Messages || base.TEnd != om.TEnd {
+		t.Errorf("idle omission changed the run: %+v vs %+v", base, om)
+	}
+}
+
+func TestOmissionCostsMessages(t *testing.T) {
+	// Dropped sends are wasted work: the attacked run must send more
+	// messages than the baseline to finish gathering.
+	const n, f = 40, 12
+	var base, attacked int64
+	for seed := uint64(0); seed < 5; seed++ {
+		b := run(t, sim.Config{N: n, F: f, Protocol: gossip.EARS{}, Seed: seed})
+		a := run(t, sim.Config{N: n, F: f, Protocol: gossip.EARS{}, Adversary: Omission{}, Seed: seed,
+			MaxEvents: 20_000_000})
+		base += b.Messages
+		attacked += a.Messages
+	}
+	if attacked <= base {
+		t.Errorf("omission attack did not cost messages: %d vs %d", attacked, base)
+	}
+}
+
+func TestAdversaryNames(t *testing.T) {
+	if (Oblivious{}).Name() != "oblivious" {
+		t.Error("oblivious name")
+	}
+	if (Omission{}).Name() != "omission" {
+		t.Error("omission name")
+	}
+}

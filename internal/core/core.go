@@ -1,0 +1,170 @@
+// Package core implements the paper's primary contribution: the Universal
+// Gossip Fighter (Algorithm 1 of "The Universal Gossip Fighter",
+// IPPS 2022), together with its three component strategies as standalone
+// adversaries (the "max UGF" series of Figure 3).
+//
+// UGF is an adaptive adversary (Definition II.5) that needs no knowledge
+// of the gossip protocol it attacks. It splits the processes into a
+// controlled set C (a uniform sample of F/2 processes) and the rest, and
+// commits — randomly, so that the protocol cannot adapt (Section IV-A) —
+// to one of:
+//
+//   - Strategy 1 (probability q₁): crash all of C. Effective when Π∖C
+//     communicates slowly, forcing high time complexity.
+//   - Strategy 2.k.0 (probability (1−q₁)q₂): slow C down to local step
+//     time τᵏ, isolate one survivor ρ̂ ∈ C by crashing the rest of C, and
+//     then crash, online, every process ρ̂ sends to — until the crash
+//     budget F runs out. Effective when C communicates slowly.
+//   - Strategy 2.k.l (probability (1−q₁)(1−q₂)): slow C down to local
+//     step time τᵏ and delivery time τᵏ⁺ˡ. Effective when C communicates
+//     quickly, forcing high message complexity.
+//
+// The exponents k and l are drawn from the ζ(2) law P(K=k) = 6/(π²k²)
+// (Remark 2), which is what gives Lemmas 4 and 5 their 1/⌈log_τ t⌉ tail
+// bounds and, through them, Theorem 1:
+//
+//	E[T(EXE)] = Ω(αF)  or  E[M(EXE)] = Ω(N + F²/log²_τ(αF)).
+package core
+
+import (
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+// Default probability parameters: the "safe choice" of Section III-B that
+// makes the three strategy families equiprobable (q₁ = 1/3, q₂ = 1/2).
+const (
+	DefaultQ1 = 1.0 / 3.0
+	DefaultQ2 = 1.0 / 2.0
+)
+
+// DefaultMaxDelay bounds the delays τᵏ and τᵏ⁺ˡ that sampled exponents may
+// produce. The ζ(2) law is heavy-tailed (E[k] diverges), so an unbounded
+// draw would occasionally schedule delays beyond any usable horizon; the
+// exponent cap truncates and renormalizes the law (xrand.Zeta2Capped),
+// preserving its 1/k² shape on the retained support. Experiments that pin
+// k = l = 1 (the paper's Section V-A3 setting) are unaffected.
+const DefaultMaxDelay sim.Step = 1 << 20
+
+// UGF is the Universal Gossip Fighter, Algorithm 1. The zero value runs
+// the paper's experimental configuration: q₁ = 1/3, q₂ = 1/2, τ = F, and
+// sampled exponents.
+type UGF struct {
+	// Q1 is the probability of Strategy 1; 0 means DefaultQ1.
+	Q1 float64
+	// Q2 is the probability of Strategy 2.k.0 given a type-2 strategy;
+	// 0 means DefaultQ2.
+	Q2 float64
+	// Tau is the delay parameter τ > 1; 0 means max(F, 2), the paper's
+	// experimental setting τ = F.
+	Tau sim.Step
+	// FixedK pins the exponent k instead of sampling it (> 0 to enable).
+	// The paper's experiments use FixedK = FixedL = 1.
+	FixedK int
+	// FixedL pins the exponent l instead of sampling it (> 0 to enable).
+	FixedL int
+	// MaxExponent caps sampled exponents; 0 derives the cap from
+	// DefaultMaxDelay and τ.
+	MaxExponent int
+}
+
+// Name implements sim.Adversary.
+func (UGF) Name() string { return "ugf" }
+
+// New implements sim.Adversary.
+func (u UGF) New(n, f int, rng *xrand.RNG) sim.AdversaryInstance {
+	return &ugfInstance{u: u, n: n, f: f, rng: rng}
+}
+
+type ugfInstance struct {
+	u     UGF
+	n, f  int
+	rng   *xrand.RNG
+	inner sim.AdversaryInstance
+	label string
+}
+
+// Init implements sim.AdversaryInstance: run the randomization scheme of
+// Algorithm 1 and hand control to the drawn strategy.
+func (g *ugfInstance) Init(view sim.View, ctl sim.Control) {
+	tau := g.u.Tau
+	if tau == 0 {
+		tau = sim.Step(g.f)
+	}
+	if tau < 2 {
+		tau = 2
+	}
+	cSize := g.f / 2
+	if cSize == 0 {
+		// Without a crash budget of at least 2 there is no set C to
+		// control; UGF degenerates to a no-op.
+		g.inner = idleStrategy{}
+		g.label = "idle"
+		return
+	}
+	c := sampleC(g.rng, g.n, cSize)
+	choice := SampleChoice(g.rng, Params{
+		Q1: g.u.Q1, Q2: g.u.Q2,
+		FixedK: g.u.FixedK, FixedL: g.u.FixedL,
+		MaxExponent: g.u.MaxExponent, Tau: tau,
+	})
+	g.label = choice.Label()
+	switch choice.Kind {
+	case KindStrategy1:
+		g.inner = &strategy1Instance{c: c}
+	case KindStrategy2K0:
+		g.inner = &strategy2k0Instance{c: c, k: choice.K, tau: tau, rng: g.rng}
+	default:
+		g.inner = &strategy2klInstance{c: c, k: choice.K, l: choice.L, tau: tau}
+	}
+	g.inner.Init(view, ctl)
+}
+
+// Observe implements sim.AdversaryInstance.
+func (g *ugfInstance) Observe(now sim.Step, events []sim.SendRecord, view sim.View, ctl sim.Control) {
+	g.inner.Observe(now, events, view, ctl)
+}
+
+// Label implements sim.AdversaryInstance.
+func (g *ugfInstance) Label() string { return g.label }
+
+// sampleC draws the controlled set C: a uniform sample of size processes.
+func sampleC(rng *xrand.RNG, n, size int) []sim.ProcID {
+	idx := rng.SampleInts(n, size)
+	c := make([]sim.ProcID, size)
+	for i, v := range idx {
+		c[i] = sim.ProcID(v)
+	}
+	return c
+}
+
+// ControlledSet replays the draw of C that any of this package's
+// adversaries makes first thing on the given stream: a uniform sample of
+// F/2 processes. Combined with sim.AdversaryRNG it lets tooling
+// reconstruct, offline, which processes a run's adversary controlled —
+// the indistinguishability experiment needs this to restrict its
+// comparison to Π∖C.
+func ControlledSet(rng *xrand.RNG, n, f int) []sim.ProcID {
+	return sampleC(rng, n, f/2)
+}
+
+// powStep computes tau^e, saturating at limit to keep delays addressable
+// within the simulation horizon.
+func powStep(tau sim.Step, e int, limit sim.Step) sim.Step {
+	v := sim.Step(1)
+	for i := 0; i < e; i++ {
+		if v > limit/tau {
+			return limit
+		}
+		v *= tau
+	}
+	return v
+}
+
+// idleStrategy is the degenerate no-op used when F < 2.
+type idleStrategy struct{}
+
+func (idleStrategy) Init(sim.View, sim.Control) {}
+func (idleStrategy) Observe(sim.Step, []sim.SendRecord, sim.View, sim.Control) {
+}
+func (idleStrategy) Label() string { return "idle" }

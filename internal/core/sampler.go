@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+// Kind identifies which of Algorithm 1's strategy families a draw of the
+// randomization scheme committed to.
+type Kind uint8
+
+// Strategy families of Algorithm 1.
+const (
+	KindStrategy1   Kind = iota // crash all of C
+	KindStrategy2K0             // isolate ρ̂, crash its receivers online
+	KindStrategy2KL             // delay C's local steps and deliveries
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindStrategy1:
+		return "strategy-1"
+	case KindStrategy2K0:
+		return "strategy-2.k.0"
+	case KindStrategy2KL:
+		return "strategy-2.k.l"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Params configures one draw of the randomization scheme. The zero value
+// uses the paper defaults (q₁ = 1/3, q₂ = 1/2, sampled exponents, cap
+// derived from τ).
+type Params struct {
+	Q1, Q2         float64
+	FixedK, FixedL int
+	// MaxExponent caps sampled exponents: 0 derives the cap from τ and
+	// DefaultMaxDelay; a negative value disables the cap entirely and
+	// samples the untruncated ζ(2) law — required when validating the
+	// Lemma 4/5 tail bounds, which the truncated law deliberately
+	// undershoots for t beyond the cap.
+	MaxExponent int
+	Tau         sim.Step
+}
+
+// Choice is the outcome of one draw: the strategy family plus the drawn
+// exponents (K is set for both type-2 families; L only for 2.k.l).
+type Choice struct {
+	Kind Kind
+	K, L int
+}
+
+// Label renders the paper's strategy notation: "1", "2.k.0" or "2.k.l"
+// with the drawn values substituted.
+func (c Choice) Label() string {
+	switch c.Kind {
+	case KindStrategy1:
+		return "1"
+	case KindStrategy2K0:
+		return fmt.Sprintf("2.%d.0", c.K)
+	default:
+		return fmt.Sprintf("2.%d.%d", c.K, c.L)
+	}
+}
+
+// SampleChoice performs the randomization scheme of Algorithm 1 (also
+// Figure 2): Strategy 1 with probability q₁; otherwise draw k from the
+// ζ(2) law and pick 2.k.0 with probability q₂ or 2.k.l (l again ζ(2))
+// with probability 1−q₂.
+//
+// It is exported — separately from the UGF adversary — so the `lemma45`
+// experiment can Monte-Carlo the sampler and compare its tails against
+// the lower bounds of Lemmas 4 and 5.
+func SampleChoice(rng *xrand.RNG, p Params) Choice {
+	q1, q2 := p.Q1, p.Q2
+	if q1 == 0 {
+		q1 = DefaultQ1
+	}
+	if q2 == 0 {
+		q2 = DefaultQ2
+	}
+	if rng.Bernoulli(q1) {
+		return Choice{Kind: KindStrategy1}
+	}
+	maxExp := p.MaxExponent
+	if maxExp == 0 {
+		maxExp = autoMaxExponent(p.Tau)
+	}
+	drawExp := func() int {
+		if maxExp < 0 {
+			return rng.Zeta2()
+		}
+		return rng.Zeta2Capped(maxExp)
+	}
+	k := p.FixedK
+	if k <= 0 {
+		k = drawExp()
+	}
+	if rng.Bernoulli(q2) {
+		return Choice{Kind: KindStrategy2K0, K: k}
+	}
+	l := p.FixedL
+	if l <= 0 {
+		l = drawExp()
+	}
+	return Choice{Kind: KindStrategy2KL, K: k, L: l}
+}
+
+// autoMaxExponent returns the largest e ≥ 1 with τ^(2e) ≤ DefaultMaxDelay,
+// so that even the combined delay τᵏ⁺ˡ of two capped draws stays within
+// DefaultMaxDelay.
+func autoMaxExponent(tau sim.Step) int {
+	if tau < 2 {
+		tau = 2
+	}
+	e := 0
+	v := sim.Step(1)
+	for v <= DefaultMaxDelay/(tau*tau) {
+		v *= tau * tau
+		e++
+	}
+	if e < 1 {
+		e = 1
+	}
+	return e
+}

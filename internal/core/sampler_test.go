@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+func TestSampleChoiceDefaultMix(t *testing.T) {
+	// With the default q₁ = 1/3, q₂ = 1/2 the three families are
+	// equiprobable (Section III-B).
+	rng := xrand.New(1)
+	const draws = 120000
+	counts := map[Kind]int{}
+	for i := 0; i < draws; i++ {
+		counts[SampleChoice(rng, Params{Tau: 10}).Kind]++
+	}
+	for kind, c := range counts {
+		got := float64(c) / draws
+		if math.Abs(got-1.0/3) > 0.01 {
+			t.Errorf("%v drawn with rate %.4f, want ~1/3", kind, got)
+		}
+	}
+}
+
+func TestSampleChoiceCustomMix(t *testing.T) {
+	rng := xrand.New(2)
+	const draws = 120000
+	p := Params{Q1: 0.5, Q2: 0.8, Tau: 10}
+	counts := map[Kind]int{}
+	for i := 0; i < draws; i++ {
+		counts[SampleChoice(rng, p).Kind]++
+	}
+	wants := map[Kind]float64{
+		KindStrategy1:   0.5,
+		KindStrategy2K0: 0.5 * 0.8,
+		KindStrategy2KL: 0.5 * 0.2,
+	}
+	for kind, want := range wants {
+		got := float64(counts[kind]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%v rate %.4f, want %.2f", kind, got, want)
+		}
+	}
+}
+
+func TestSampleChoiceFixedExponents(t *testing.T) {
+	rng := xrand.New(3)
+	p := Params{FixedK: 1, FixedL: 1, Tau: 30}
+	for i := 0; i < 2000; i++ {
+		c := SampleChoice(rng, p)
+		switch c.Kind {
+		case KindStrategy2K0:
+			if c.K != 1 {
+				t.Fatalf("fixed k ignored: %+v", c)
+			}
+		case KindStrategy2KL:
+			if c.K != 1 || c.L != 1 {
+				t.Fatalf("fixed k/l ignored: %+v", c)
+			}
+		}
+	}
+}
+
+func TestSampleChoiceExponentTail(t *testing.T) {
+	// Sampled exponents must follow the ζ(2) law: P(K ≥ k) ≳ 6/(π²k)
+	// (Lemma 4's tail), up to the cap.
+	rng := xrand.New(4)
+	p := Params{Q1: 0.0001, Q2: 0.0001, Tau: 2} // nearly always 2.k.l
+	const draws = 100000
+	tail3 := 0
+	total := 0
+	for i := 0; i < draws; i++ {
+		c := SampleChoice(rng, p)
+		if c.Kind != KindStrategy2KL {
+			continue
+		}
+		total++
+		if c.K >= 3 {
+			tail3++
+		}
+	}
+	got := float64(tail3) / float64(total)
+	bound := xrand.Zeta2TailLowerBound(3) // 6/(π²·3) ≈ 0.2026
+	if got < bound-0.01 {
+		t.Errorf("P(K ≥ 3) = %.4f below the Lemma 4 bound %.4f", got, bound)
+	}
+}
+
+func TestSampleChoiceRespectsCap(t *testing.T) {
+	rng := xrand.New(5)
+	p := Params{Q1: 0.0001, Q2: 0.5, Tau: 2, MaxExponent: 4}
+	for i := 0; i < 5000; i++ {
+		c := SampleChoice(rng, p)
+		if c.K > 4 || c.L > 4 {
+			t.Fatalf("exponent beyond cap: %+v", c)
+		}
+	}
+}
+
+func TestChoiceLabels(t *testing.T) {
+	cases := []struct {
+		c    Choice
+		want string
+	}{
+		{Choice{Kind: KindStrategy1}, "1"},
+		{Choice{Kind: KindStrategy2K0, K: 3}, "2.3.0"},
+		{Choice{Kind: KindStrategy2KL, K: 1, L: 2}, "2.1.2"},
+	}
+	for _, c := range cases {
+		if got := c.c.Label(); got != c.want {
+			t.Errorf("Label(%+v) = %q, want %q", c.c, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{KindStrategy1, KindStrategy2K0, KindStrategy2KL, Kind(99)} {
+		if k.String() == "" {
+			t.Errorf("empty String for kind %d", uint8(k))
+		}
+	}
+}
+
+func TestAutoMaxExponent(t *testing.T) {
+	cases := []struct {
+		tau  sim.Step
+		want int
+	}{
+		{2, 10},      // 2^(2·10) = 2^20 = DefaultMaxDelay
+		{1024, 1},    // 1024² = 2^20 exactly
+		{1 << 11, 1}, // 2^22 > 2^20 → floor at 1
+		{0, 10},      // τ < 2 clamps to 2
+	}
+	for _, c := range cases {
+		if got := autoMaxExponent(c.tau); got != c.want {
+			t.Errorf("autoMaxExponent(%d) = %d, want %d", c.tau, got, c.want)
+		}
+	}
+}
+
+func TestPowStep(t *testing.T) {
+	if got := powStep(3, 4, 1<<40); got != 81 {
+		t.Errorf("3^4 = %d, want 81", got)
+	}
+	if got := powStep(10, 0, 1<<40); got != 1 {
+		t.Errorf("10^0 = %d, want 1", got)
+	}
+	if got := powStep(1000, 10, 1<<20); got != 1<<20 {
+		t.Errorf("saturating pow = %d, want %d", got, 1<<20)
+	}
+	// Saturation must not overflow on huge bases either.
+	if got := powStep(1<<40, 5, DefaultMaxDelay); got != DefaultMaxDelay {
+		t.Errorf("huge-base pow = %d, want saturation", got)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+// The three strategies of Algorithm 1, each available as a standalone
+// adversary that always applies it (with its own uniform draw of C).
+// Figure 3's "max UGF" series are exactly these: Strategy 1 is the
+// maximal time-complexity attack on Push-Pull, Strategy 2.1.0 on EARS,
+// and Strategy 2.1.1 the maximal message-complexity attack on all three
+// protocols.
+
+// Strategy1 always applies Strategy 1: crash every process of a uniform
+// F/2-sample C at the start of the run.
+type Strategy1 struct{}
+
+// Name implements sim.Adversary.
+func (Strategy1) Name() string { return "strategy-1" }
+
+// New implements sim.Adversary.
+func (Strategy1) New(n, f int, rng *xrand.RNG) sim.AdversaryInstance {
+	if f/2 == 0 {
+		return idleStrategy{}
+	}
+	return &strategy1Instance{c: sampleC(rng, n, f/2)}
+}
+
+type strategy1Instance struct {
+	c []sim.ProcID
+}
+
+func (s *strategy1Instance) Init(view sim.View, ctl sim.Control) {
+	for _, p := range s.c {
+		ctl.Crash(p)
+	}
+}
+
+func (s *strategy1Instance) Observe(sim.Step, []sim.SendRecord, sim.View, sim.Control) {}
+
+func (s *strategy1Instance) Label() string { return "1" }
+
+// Strategy2K0 always applies Strategy 2.k.0: slow every process of C down
+// to local-step time τᵏ, crash all of C except one uniformly drawn
+// survivor ρ̂, and from then on crash — online, within the budget F —
+// every correct process ρ̂ sends a message to. If ρ̂ spreads slowly this
+// isolates it for ~τᵏ·F/2 global steps, forcing linear time complexity.
+type Strategy2K0 struct {
+	// K is the exponent k ≥ 1; 0 means 1 (the experimental setting).
+	K int
+	// Tau is τ > 1; 0 means max(F, 2).
+	Tau sim.Step
+}
+
+// Name implements sim.Adversary.
+func (s Strategy2K0) Name() string { return "strategy-2.k.0" }
+
+// New implements sim.Adversary.
+func (s Strategy2K0) New(n, f int, rng *xrand.RNG) sim.AdversaryInstance {
+	if f/2 == 0 {
+		return idleStrategy{}
+	}
+	k, tau := defaultKTau(s.K, s.Tau, f)
+	return &strategy2k0Instance{c: sampleC(rng, n, f/2), k: k, tau: tau, rng: rng}
+}
+
+type strategy2k0Instance struct {
+	c   []sim.ProcID
+	k   int
+	tau sim.Step
+	rng *xrand.RNG
+	hat sim.ProcID
+}
+
+func (s *strategy2k0Instance) Init(view sim.View, ctl sim.Control) {
+	delta := powStep(s.tau, s.k, DefaultMaxDelay)
+	for _, p := range s.c {
+		ctl.SetDelta(p, delta)
+	}
+	s.hat = s.c[s.rng.Intn(len(s.c))]
+	for _, p := range s.c {
+		if p != s.hat {
+			ctl.Crash(p)
+		}
+	}
+}
+
+// Observe implements the online loop of Algorithm 1: crash the receiver
+// of every message ρ̂ sends, while the budget lasts. A send recorded at
+// step t delivers at t+d ≥ t+1 and Observe runs before deliveries, so the
+// crash always lands in time.
+func (s *strategy2k0Instance) Observe(now sim.Step, events []sim.SendRecord, view sim.View, ctl sim.Control) {
+	for _, ev := range events {
+		if ev.From == s.hat && !view.Crashed(ev.To) {
+			ctl.Crash(ev.To)
+		}
+	}
+}
+
+func (s *strategy2k0Instance) Label() string { return fmt.Sprintf("2.%d.0", s.k) }
+
+// Strategy2KL always applies Strategy 2.k.l with l ≥ 1: slow every
+// process of C down to local-step time τᵏ and delivery time τᵏ⁺ˡ. No
+// crashes — the rest of the system keeps asking C for its gossips and
+// keeps being answered at a τᵏ⁺ˡ delay, inflating the message complexity.
+type Strategy2KL struct {
+	// K is the exponent k ≥ 1; 0 means 1 (the experimental setting).
+	K int
+	// L is the exponent l ≥ 1; 0 means 1 (the experimental setting).
+	L int
+	// Tau is τ > 1; 0 means max(F, 2).
+	Tau sim.Step
+}
+
+// Name implements sim.Adversary.
+func (s Strategy2KL) Name() string { return "strategy-2.k.l" }
+
+// New implements sim.Adversary.
+func (s Strategy2KL) New(n, f int, rng *xrand.RNG) sim.AdversaryInstance {
+	if f/2 == 0 {
+		return idleStrategy{}
+	}
+	k, tau := defaultKTau(s.K, s.Tau, f)
+	l := s.L
+	if l <= 0 {
+		l = 1
+	}
+	return &strategy2klInstance{c: sampleC(rng, n, f/2), k: k, l: l, tau: tau}
+}
+
+type strategy2klInstance struct {
+	c    []sim.ProcID
+	k, l int
+	tau  sim.Step
+}
+
+func (s *strategy2klInstance) Init(view sim.View, ctl sim.Control) {
+	delta := powStep(s.tau, s.k, DefaultMaxDelay)
+	delay := powStep(s.tau, s.k+s.l, DefaultMaxDelay)
+	for _, p := range s.c {
+		ctl.SetDelta(p, delta)
+		ctl.SetDelay(p, delay)
+	}
+}
+
+func (s *strategy2klInstance) Observe(sim.Step, []sim.SendRecord, sim.View, sim.Control) {}
+
+func (s *strategy2klInstance) Label() string { return fmt.Sprintf("2.%d.%d", s.k, s.l) }
+
+func defaultKTau(k int, tau sim.Step, f int) (int, sim.Step) {
+	if k <= 0 {
+		k = 1
+	}
+	if tau == 0 {
+		tau = sim.Step(f)
+	}
+	if tau < 2 {
+		tau = 2
+	}
+	return k, tau
+}

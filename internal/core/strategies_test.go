@@ -1,0 +1,236 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/ugf-sim/ugf/internal/gossip"
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+func run(t *testing.T, cfg sim.Config) sim.Outcome {
+	t.Helper()
+	o, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if o.HorizonHit {
+		t.Fatalf("run hit horizon: %+v", o)
+	}
+	return o
+}
+
+func TestStrategy1CrashesHalfBudget(t *testing.T) {
+	o := run(t, sim.Config{
+		N: 20, F: 6, Protocol: gossip.PushPull{}, Adversary: Strategy1{}, Seed: 1,
+	})
+	if o.Crashed != 3 {
+		t.Errorf("Crashed = %d, want F/2 = 3", o.Crashed)
+	}
+	if o.Strategy != "1" {
+		t.Errorf("Strategy = %q, want \"1\"", o.Strategy)
+	}
+	if !o.Gathered {
+		t.Error("survivors must still gather")
+	}
+	// Crash-only strategy never touches delays.
+	if o.DeltaMax != 1 || o.DelayMax != 1 {
+		t.Errorf("δ=%d d=%d, want 1,1", o.DeltaMax, o.DelayMax)
+	}
+}
+
+func TestStrategy2K0IsolatesAndCrashesReceivers(t *testing.T) {
+	o := run(t, sim.Config{
+		N: 20, F: 8, Protocol: gossip.EARS{}, Adversary: Strategy2K0{}, Seed: 2,
+	})
+	// Initial crashes: |C|−1 = 3; then receivers of ρ̂'s sends until the
+	// budget F = 8 is gone. EARS keeps ρ̂ sending, so the budget should be
+	// fully consumed.
+	if o.Crashed != 8 {
+		t.Errorf("Crashed = %d, want full budget 8", o.Crashed)
+	}
+	if o.Strategy != "2.1.0" {
+		t.Errorf("Strategy = %q, want \"2.1.0\"", o.Strategy)
+	}
+	// ρ̂ survives with δ = τ = F, so the correct-process maxima must show it.
+	if o.DeltaMax != 8 {
+		t.Errorf("DeltaMax = %d, want τ = 8", o.DeltaMax)
+	}
+	if o.DelayMax != 1 {
+		t.Errorf("DelayMax = %d, want 1 (2.k.0 does not delay deliveries)", o.DelayMax)
+	}
+}
+
+func TestStrategy2K0ForcesLinearTimeOnEARS(t *testing.T) {
+	// The headline mechanism of Fig. 3b: ρ̂ needs ~F/2 local steps of τ
+	// global steps each before its gossip escapes, so T = Ω(F).
+	const n, f = 60, 18
+	for seed := uint64(0); seed < 3; seed++ {
+		o := run(t, sim.Config{
+			N: n, F: f, Protocol: gossip.EARS{}, Adversary: Strategy2K0{}, Seed: seed,
+		})
+		if o.Time < float64(f)/4 {
+			t.Errorf("seed %d: T = %.2f, want Ω(F) with F = %d", seed, o.Time, f)
+		}
+	}
+}
+
+func TestStrategy2KLDelaysWithoutCrashing(t *testing.T) {
+	o := run(t, sim.Config{
+		N: 20, F: 8, Protocol: gossip.EARS{}, Adversary: Strategy2KL{}, Seed: 3,
+	})
+	if o.Crashed != 0 {
+		t.Errorf("Crashed = %d, want 0", o.Crashed)
+	}
+	if o.Strategy != "2.1.1" {
+		t.Errorf("Strategy = %q, want \"2.1.1\"", o.Strategy)
+	}
+	if o.DeltaMax != 8 {
+		t.Errorf("DeltaMax = %d, want τ = F = 8", o.DeltaMax)
+	}
+	if o.DelayMax != 64 {
+		t.Errorf("DelayMax = %d, want τ² = 64", o.DelayMax)
+	}
+	if !o.Gathered {
+		t.Error("delay-only attack must not prevent gathering")
+	}
+}
+
+func TestStrategy2KLInflatesMessages(t *testing.T) {
+	// Fig. 3c mechanism: under Strategy 2.1.1 every process in Π∖C burns
+	// a pull request on every member of C (and C answers), adding at
+	// least ~N·F/2 messages on top of the baseline.
+	const n, f = 60, 18
+	const runs = 5
+	var base, attacked int64
+	for seed := uint64(0); seed < runs; seed++ {
+		b := run(t, sim.Config{N: n, F: f, Protocol: gossip.PushPull{}, Seed: seed})
+		a := run(t, sim.Config{N: n, F: f, Protocol: gossip.PushPull{}, Adversary: Strategy2KL{}, Seed: seed})
+		base += b.Messages
+		attacked += a.Messages
+	}
+	if extra := attacked - base; extra < runs*int64(n)*int64(f)/2 {
+		t.Errorf("Strategy 2.1.1 added only %d messages over baseline %d, want ≥ %d",
+			extra, base, runs*int64(n)*int64(f)/2)
+	}
+}
+
+func TestStrategiesIdleWithoutBudget(t *testing.T) {
+	for _, adv := range []sim.Adversary{Strategy1{}, Strategy2K0{}, Strategy2KL{}, UGF{}} {
+		o := run(t, sim.Config{N: 10, F: 1, Protocol: gossip.PushPull{}, Adversary: adv, Seed: 4})
+		if o.Crashed != 0 {
+			t.Errorf("%s: crashed %d processes with F/2 = 0", adv.Name(), o.Crashed)
+		}
+		if o.DeltaMax != 1 || o.DelayMax != 1 {
+			t.Errorf("%s: touched delays with F/2 = 0", adv.Name())
+		}
+	}
+}
+
+func TestUGFLabels(t *testing.T) {
+	seen := map[string]bool{}
+	for seed := uint64(0); seed < 60; seed++ {
+		o := run(t, sim.Config{
+			N: 20, F: 6, Protocol: gossip.PushPull{}, Adversary: UGF{FixedK: 1, FixedL: 1}, Seed: seed,
+		})
+		seen[o.Strategy] = true
+		switch o.Strategy {
+		case "1", "2.1.0", "2.1.1":
+		default:
+			t.Fatalf("unexpected strategy label %q", o.Strategy)
+		}
+		if o.Adversary != "ugf" {
+			t.Fatalf("Adversary = %q", o.Adversary)
+		}
+	}
+	for _, want := range []string{"1", "2.1.0", "2.1.1"} {
+		if !seen[want] {
+			t.Errorf("strategy %q never drawn in 60 runs", want)
+		}
+	}
+}
+
+func TestUGFSampledLabelsParse(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		o := run(t, sim.Config{
+			N: 20, F: 6, Protocol: gossip.PushPull{}, Adversary: UGF{Tau: 3}, Seed: seed,
+		})
+		if o.Strategy != "1" && !strings.HasPrefix(o.Strategy, "2.") {
+			t.Fatalf("unexpected label %q", o.Strategy)
+		}
+	}
+}
+
+func TestUGFRespectsBudget(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		n := 10 + int(seed%5)*10
+		f := n / 3
+		o := run(t, sim.Config{
+			N: n, F: f, Protocol: gossip.EARS{}, Adversary: UGF{FixedK: 1, FixedL: 1}, Seed: seed,
+		})
+		if o.Crashed > f {
+			t.Fatalf("seed %d: crashed %d > F = %d", seed, o.Crashed, f)
+		}
+	}
+}
+
+func TestUGFDeterministic(t *testing.T) {
+	cfg := sim.Config{N: 30, F: 9, Protocol: gossip.EARS{}, Adversary: UGF{}, Seed: 17}
+	a := run(t, cfg)
+	b := run(t, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("UGF run not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestUGFDisruptsEveryProtocol(t *testing.T) {
+	// The paper's main empirical takeaway (Section V-B1): under UGF every
+	// protocol ends with linear time or quadratic messages — and usually
+	// both complexities rise well above baseline. Median over seeds of the
+	// per-seed max of (T/N, M/N²) must clear a threshold no baseline run
+	// approaches.
+	const n, f = 50, 15
+	protos := []sim.Protocol{gossip.PushPull{}, gossip.EARS{}, gossip.SEARS{}}
+	for _, proto := range protos {
+		proto := proto
+		t.Run(proto.Name(), func(t *testing.T) {
+			t.Parallel()
+			disrupted := 0
+			const runs = 9
+			for seed := uint64(0); seed < runs; seed++ {
+				o := run(t, sim.Config{
+					N: n, F: f, Protocol: proto, Seed: seed,
+					Adversary: UGF{FixedK: 1, FixedL: 1},
+				})
+				timeScore := o.Time / float64(n)
+				msgScore := float64(o.Messages) / float64(n*n)
+				if timeScore > 0.05 || msgScore > 0.2 {
+					disrupted++
+				}
+			}
+			if disrupted < runs/2 {
+				t.Errorf("UGF disrupted only %d/%d runs of %s", disrupted, runs, proto.Name())
+			}
+		})
+	}
+}
+
+func TestSampleCSizesAndUniqueness(t *testing.T) {
+	rng := xrand.New(7)
+	c := sampleC(rng, 50, 10)
+	if len(c) != 10 {
+		t.Fatalf("|C| = %d, want 10", len(c))
+	}
+	seen := map[sim.ProcID]bool{}
+	for _, p := range c {
+		if p < 0 || p >= 50 {
+			t.Fatalf("C member %d out of range", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate C member %d", p)
+		}
+		seen[p] = true
+	}
+}

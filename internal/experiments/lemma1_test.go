@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+func TestLemma1Quick(t *testing.T) {
+	rep, err := mustExp(t, "lemma1").Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range rep.Notes {
+		t.Log(n)
+	}
+	if !hasNote(rep, "cannot distinguish the strategies before τᵏ: REPRODUCED") {
+		t.Errorf("indistinguishability not reproduced; notes: %v", rep.Notes)
+		for _, tbl := range rep.Tables {
+			for _, row := range tbl.Rows {
+				t.Log(row)
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package gossip
+
+import (
+	"math"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+// Adaptive is a Push-Pull variant that tries to beat the adversary by
+// adapting — the kind of protocol UGF's randomization scheme is designed
+// to defeat (Sections III-B and IV-A).
+//
+// It behaves like PushPull, but each process watches how long it has gone
+// without learning anything new. After GiveUpFactor·⌈log₂ N⌉ quiet local
+// steps it concludes that the processes it is still waiting for are
+// crashed (the only cheap explanation), blasts everything it knows to
+// every process it has not pushed to, and goes to sleep without waiting
+// further.
+//
+// Against the fixed Strategy 1 this adaptation is ideal: the silent
+// processes really are crashed, so giving up early is safe and both
+// complexities stay low. Against randomized UGF the same move is a trap —
+// under Strategy 2.k.0/2.k.l the silent processes are alive and merely
+// delayed, and giving up on them either costs rumor gathering or forces
+// the paid-for complexities anyway. The `adaptation` experiment measures
+// exactly this.
+type Adaptive struct {
+	// GiveUpFactor scales the quiet threshold; 0 means 4.
+	GiveUpFactor int
+}
+
+// Name implements sim.Protocol.
+func (Adaptive) Name() string { return "adaptive" }
+
+// Threshold returns the give-up threshold in local steps.
+func (a Adaptive) Threshold(n int) int {
+	factor := a.GiveUpFactor
+	if factor <= 0 {
+		factor = 4
+	}
+	t := factor * int(math.Ceil(math.Log2(float64(n+1))))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// New implements sim.Protocol.
+func (a Adaptive) New(envs []sim.Env) []sim.Process {
+	ar := newArena(len(envs))
+	threshold := a.Threshold(len(envs))
+	return sim.BuildEach(envs, func(env sim.Env) sim.Process {
+		return &adaptiveProc{
+			pushPullProc: newPushPullProc(env, ar),
+			threshold:    threshold,
+		}
+	})
+}
+
+type adaptiveProc struct {
+	*pushPullProc
+	threshold int
+	quiet     int
+	gaveUp    bool
+}
+
+// Step implements sim.Process.
+func (p *adaptiveProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outbox) {
+	before := p.known.count()
+	if p.gaveUp {
+		// Keep answering pulls and absorbing, nothing more.
+		for _, m := range delivered {
+			switch pl := m.Payload.(type) {
+			case pullPayload:
+				out.Send(m.From, batchPayload{GLen: p.knownLen()})
+			case batchPayload:
+				p.merge(m.From, pl.GLen)
+			}
+		}
+		return
+	}
+	p.pushPullProc.Step(now, delivered, out)
+	if p.known.count() > before {
+		p.quiet = 0
+	} else {
+		p.quiet++
+	}
+	if p.quiet >= p.threshold && !p.pushPullProc.Asleep() {
+		// Adapt: declare the laggards crashed and blast a final push to
+		// everyone not yet pushed to.
+		p.gaveUp = true
+		for q := 0; q < p.env.N; q++ {
+			if q == int(p.env.ID) || p.pushed.has(q) {
+				continue
+			}
+			out.Send(sim.ProcID(q), batchPayload{GLen: p.knownLen()})
+			p.pushed.add(q)
+		}
+	}
+}
+
+// Asleep implements sim.Process.
+func (p *adaptiveProc) Asleep() bool { return p.gaveUp || p.pushPullProc.Asleep() }

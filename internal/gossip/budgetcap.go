@@ -1,0 +1,84 @@
+package gossip
+
+import "github.com/ugf-sim/ugf/internal/sim"
+
+// BudgetCapped is an EARS variant whose processes refuse to send more than
+// ⌈(N−1)/α⌉ messages each, so a full run is capped at roughly N²/α
+// messages — a protocol that "aims to achieve a message complexity α times
+// less than quadratic" in the sense of Theorem 1. Once its budget is
+// exhausted a process goes permanently silent but keeps absorbing
+// deliveries, so late information still reaches it.
+//
+// The `tradeoff` experiment sweeps α and shows the Theorem 1 interplay
+// empirically: under UGF, shrinking the message budget either inflates
+// the time complexity or breaks rumor gathering outright.
+type BudgetCapped struct {
+	// Alpha is the quadratic-shrinking factor α ≥ 1; 0 means 1.
+	Alpha int
+	// WindowScale multiplies the EARS inactivity window; 0 means 1.
+	WindowScale float64
+}
+
+// Name implements sim.Protocol.
+func (b BudgetCapped) Name() string { return "budget-capped" }
+
+// Budget returns the per-process send budget ⌈(N−1)/α⌉, at least 1.
+func (b BudgetCapped) Budget(n int) int {
+	alpha := b.Alpha
+	if alpha < 1 {
+		alpha = 1
+	}
+	budget := (n - 1 + alpha - 1) / alpha
+	if budget < 1 {
+		budget = 1
+	}
+	return budget
+}
+
+// New implements sim.Protocol.
+func (b BudgetCapped) New(envs []sim.Env) []sim.Process {
+	ar := newArena(len(envs))
+	budget := b.Budget(len(envs))
+	return sim.BuildEach(envs, func(env sim.Env) sim.Process {
+		return &budgetProc{
+			earsProc: newEarsProc(env, ar, 1, b.WindowScale),
+			budget:   budget,
+		}
+	})
+}
+
+type budgetProc struct {
+	*earsProc
+	budget  int
+	sent    int
+	scratch sim.Outbox
+}
+
+// Step implements sim.Process: EARS behavior under a hard send budget.
+// The underlying EARS step may emit several messages (a random gossip plus
+// anti-entropy replies), so sends are filtered through a scratch outbox
+// and cut off exactly at the budget.
+func (p *budgetProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outbox) {
+	if p.sent >= p.budget {
+		// Absorb only: merge deliveries without sending — the budget is a
+		// hard cap, so not even anti-entropy replies go out.
+		for _, m := range delivered {
+			p.merge(m.From, m.Payload.(earsPayload))
+		}
+		return
+	}
+	p.scratch = sim.NewOutbox(p.env.ID, p.env.N)
+	p.earsProc.Step(now, delivered, &p.scratch)
+	for _, m := range p.scratch.Drain() {
+		if p.sent >= p.budget {
+			break
+		}
+		out.Send(m.To, m.Payload)
+		p.sent++
+	}
+}
+
+// Asleep implements sim.Process.
+func (p *budgetProc) Asleep() bool {
+	return p.sent >= p.budget || p.earsProc.Asleep()
+}

@@ -1,0 +1,82 @@
+package gossip
+
+import "github.com/ugf-sim/ugf/internal/sim"
+
+// Doubling is deterministic recursive-doubling dissemination: in round
+// r = 0, 1, …, ⌈log₂ N⌉−1, process i sends everything it knows to process
+// (i + 2ʳ) mod N, then sleeps. After round r every gossip is known by a
+// contiguous block of 2ʳ⁺¹ processes, so ⌈log₂ N⌉ rounds gather all rumors
+// with exactly N·⌈log₂ N⌉ messages — the efficient deterministic baseline
+// the paper's Example 1 alludes to when it cites the O(log³N)-time,
+// O(N·log⁴N)-message protocol of [7].
+//
+// The price of that efficiency is fragility: the schedule has no
+// redundancy, so a single crash severs every dissemination chain routed
+// through the crashed process and rumor gathering fails. Doubling is a
+// baseline for quantifying what crash tolerance costs; it is not a valid
+// all-to-all protocol in the crash-prone model.
+type Doubling struct{}
+
+// Name implements sim.Protocol.
+func (Doubling) Name() string { return "doubling" }
+
+// Rounds returns ⌈log₂ N⌉, the number of communication rounds.
+func (Doubling) Rounds(n int) int {
+	r := 0
+	for span := 1; span < n; span *= 2 {
+		r++
+	}
+	return r
+}
+
+// New implements sim.Protocol.
+func (d Doubling) New(envs []sim.Env) []sim.Process {
+	ar := newArena(len(envs))
+	rounds := d.Rounds(len(envs))
+	return sim.BuildEach(envs, func(env sim.Env) sim.Process {
+		return &doublingProc{
+			env:    env,
+			ar:     ar,
+			known:  knownWithSelf(env),
+			rounds: rounds,
+		}
+	})
+}
+
+type doublingProc struct {
+	env    sim.Env
+	ar     *arena
+	known  bitset
+	staged []sim.ProcID
+	round  int
+	rounds int
+}
+
+// Step implements sim.Process.
+func (p *doublingProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outbox) {
+	for _, m := range delivered {
+		for _, g := range p.ar.prefix(m.From, m.Payload.(batchPayload).GLen) {
+			if p.known.add(int(g)) {
+				p.staged = append(p.staged, g)
+			}
+		}
+	}
+	if p.round >= p.rounds || p.env.N == 1 {
+		return
+	}
+	to := sim.ProcID((int(p.env.ID) + (1 << p.round)) % p.env.N)
+	out.Send(to, batchPayload{GLen: p.ar.len(p.env.ID) + int32(len(p.staged))})
+	p.round++
+}
+
+// Commit implements sim.Committer.
+func (p *doublingProc) Commit(now sim.Step) {
+	p.ar.publish(p.env.ID, p.staged)
+	p.staged = p.staged[:0]
+}
+
+// Asleep implements sim.Process.
+func (p *doublingProc) Asleep() bool { return p.round >= p.rounds }
+
+// Knows implements sim.Process.
+func (p *doublingProc) Knows(g sim.ProcID) bool { return p.known.has(int(g)) }

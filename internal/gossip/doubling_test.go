@@ -1,0 +1,79 @@
+package gossip
+
+import (
+	"testing"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+func TestDoublingRounds(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {500, 9},
+	}
+	for _, c := range cases {
+		if got := (Doubling{}).Rounds(c.n); got != c.want {
+			t.Errorf("Rounds(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestDoublingExactComplexities(t *testing.T) {
+	for _, n := range []int{2, 7, 16, 33, 100} {
+		o, err := sim.Run(sim.Config{N: n, F: 0, Protocol: Doubling{}, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := (Doubling{}).Rounds(n)
+		if want := int64(n * rounds); o.Messages != want {
+			t.Errorf("N=%d: M = %d, want N·⌈log₂N⌉ = %d", n, o.Messages, want)
+		}
+		if want := sim.Step(rounds); o.TEnd != want {
+			t.Errorf("N=%d: TEnd = %d, want %d", n, o.TEnd, want)
+		}
+		if !o.Gathered {
+			t.Errorf("N=%d: doubling failed to gather without crashes", n)
+		}
+	}
+}
+
+func TestDoublingIsDeterministic(t *testing.T) {
+	a, err := sim.Run(sim.Config{N: 24, F: 0, Protocol: Doubling{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(sim.Config{N: 24, F: 0, Protocol: Doubling{}, Seed: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed-independence: the protocol draws no randomness at all.
+	if a.Messages != b.Messages || a.TEnd != b.TEnd || a.Gathered != b.Gathered {
+		t.Errorf("doubling depends on the seed: %+v vs %+v", a, b)
+	}
+}
+
+func TestDoublingIsFragile(t *testing.T) {
+	// A single crash severs dissemination chains: rumor gathering fails.
+	// This is the advertised contrast with the paper's crash-tolerant
+	// protocols (see the Doubling type comment).
+	adv := crashFirstK{k: 1}
+	o, err := sim.Run(sim.Config{N: 16, F: 1, Protocol: Doubling{}, Adversary: adv, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.HorizonHit {
+		t.Fatal("doubling did not terminate under a crash")
+	}
+	if o.Gathered {
+		t.Error("gathering survived a crash — doubling should be fragile")
+	}
+}
+
+func TestDoublingSingleton(t *testing.T) {
+	o, err := sim.Run(sim.Config{N: 1, F: 0, Protocol: Doubling{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Messages != 0 || !o.Gathered {
+		t.Errorf("singleton outcome: %+v", o)
+	}
+}

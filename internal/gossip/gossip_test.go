@@ -1,0 +1,191 @@
+package gossip
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := newBitset(130)
+	if b.has(0) || b.has(129) {
+		t.Fatal("fresh bitset not empty")
+	}
+	if !b.add(0) || !b.add(129) || !b.add(64) {
+		t.Fatal("add of new element reported false")
+	}
+	if b.add(64) {
+		t.Fatal("re-add reported true")
+	}
+	if b.count() != 3 || b.popcount() != 3 {
+		t.Fatalf("count = %d/%d, want 3", b.count(), b.popcount())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !b.has(i) {
+			t.Errorf("missing element %d", i)
+		}
+	}
+	if b.has(1) || b.has(128) {
+		t.Error("contains element never added")
+	}
+}
+
+func TestBitsetCountMatchesPopcount(t *testing.T) {
+	prop := func(adds []uint16) bool {
+		b := newBitset(1 << 16)
+		for _, a := range adds {
+			b.add(int(a))
+		}
+		return b.count() == b.popcount()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArena(t *testing.T) {
+	a := newArena(3)
+	for p := 0; p < 3; p++ {
+		if got := a.len(sim.ProcID(p)); got != 1 {
+			t.Fatalf("initial log length of %d = %d, want 1", p, got)
+		}
+		if a.logs[p][0] != sim.ProcID(p) {
+			t.Fatalf("log of %d does not start with its own gossip", p)
+		}
+	}
+	a.publish(1, []sim.ProcID{0, 2})
+	if got := a.len(1); got != 3 {
+		t.Fatalf("log length after publish = %d, want 3", got)
+	}
+	pre := a.prefix(1, 2)
+	if len(pre) != 2 || pre[0] != 1 || pre[1] != 0 {
+		t.Fatalf("prefix = %v, want [1 0]", pre)
+	}
+	a.publish(1, nil) // no-op
+	if got := a.len(1); got != 3 {
+		t.Fatalf("empty publish changed length to %d", got)
+	}
+}
+
+func TestInactivityWindow(t *testing.T) {
+	cases := []struct {
+		n, f  int
+		scale float64
+		want  int
+	}{
+		{10, 3, 1, 4},   // ⌈10/7·ln 10⌉ = ⌈3.29⌉
+		{10, 0, 1, 3},   // ⌈ln 10⌉ = ⌈2.30⌉
+		{100, 30, 1, 7}, // ⌈100/70·ln 100⌉ = ⌈6.58⌉
+		{1, 0, 1, 1},    // ln 1 = 0 clamps to 1
+		{10, 3, 2, 7},   // doubled scale
+		{10, 3, 0, 4},   // scale 0 means 1
+	}
+	for _, c := range cases {
+		if got := inactivityWindow(c.n, c.f, c.scale); got != c.want {
+			t.Errorf("inactivityWindow(%d, %d, %v) = %d, want %d", c.n, c.f, c.scale, got, c.want)
+		}
+	}
+}
+
+func TestPayloadKinds(t *testing.T) {
+	kinds := map[string]sim.Payload{
+		"gossips": batchPayload{},
+		"pull":    pullPayload{},
+		"gossip":  singlePayload{},
+		"ears":    earsPayload{},
+	}
+	for want, p := range kinds {
+		if got := p.Kind(); got != want {
+			t.Errorf("Kind() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestSEARSFanout(t *testing.T) {
+	s := SEARS{} // defaults c=1, ε=0.5
+	// ⌈√100 · ln 100⌉ = ⌈10·4.605⌉ = 47.
+	if got := s.Fanout(100); got != 47 {
+		t.Errorf("Fanout(100) = %d, want 47", got)
+	}
+	// Clamped to N-1 for tiny systems.
+	if got := s.Fanout(2); got != 1 {
+		t.Errorf("Fanout(2) = %d, want 1", got)
+	}
+	big := SEARS{C: 100}
+	if got := big.Fanout(10); got != 9 {
+		t.Errorf("clamped Fanout = %d, want 9", got)
+	}
+	lin := SEARS{Epsilon: 1}
+	if got, min := lin.Fanout(100), 99; got != min {
+		t.Errorf("ε=1 Fanout(100) = %d, want %d (clamped)", got, min)
+	}
+}
+
+func TestBudgetCappedBudget(t *testing.T) {
+	cases := []struct {
+		alpha, n, want int
+	}{
+		{1, 101, 100},
+		{2, 101, 50},
+		{4, 101, 25},
+		{0, 11, 10},   // alpha 0 means 1
+		{1000, 11, 1}, // floor at 1
+	}
+	for _, c := range cases {
+		b := BudgetCapped{Alpha: c.alpha}
+		if got := b.Budget(c.n); got != c.want {
+			t.Errorf("Budget(α=%d, N=%d) = %d, want %d", c.alpha, c.n, got, c.want)
+		}
+	}
+}
+
+func TestAdaptiveThreshold(t *testing.T) {
+	a := Adaptive{}
+	// 4·⌈log₂ 101⌉ = 4·7 = 28.
+	if got := a.Threshold(100); got != 28 {
+		t.Errorf("Threshold(100) = %d, want 28", got)
+	}
+	small := Adaptive{GiveUpFactor: 1}
+	if got := small.Threshold(1); got < 1 {
+		t.Errorf("Threshold(1) = %d, want ≥ 1", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("registered name %q not found", name)
+		}
+		if p.Name() != name {
+			t.Errorf("registry key %q maps to protocol named %q", name, p.Name())
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown name found")
+	}
+	if MustByName("ears") == nil {
+		t.Error("MustByName returned nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName on unknown name did not panic")
+		}
+	}()
+	MustByName("nope")
+}
+
+// makeEnvs builds process environments outside the engine, for whitebox
+// protocol tests.
+func makeEnvs(n, f int, seed uint64) []sim.Env {
+	envs := make([]sim.Env, n)
+	for p := 0; p < n; p++ {
+		envs[p] = sim.Env{
+			ID: sim.ProcID(p), N: n, F: f,
+			RNG: xrand.New(xrand.Derive(seed, 1, uint64(p))),
+		}
+	}
+	return envs
+}

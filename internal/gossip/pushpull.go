@@ -1,0 +1,167 @@
+package gossip
+
+import "github.com/ugf-sim/ugf/internal/sim"
+
+// PushPull is the randomized pull-request/push protocol of
+// Section V-A2(a), inspired by Karp et al. [19].
+//
+// At each local step a process:
+//
+//  1. answers every delivered pull request with all the gossips it knows;
+//  2. sends a pull request to one uniformly random process whose gossip it
+//     does not know and which it has not pulled from yet;
+//  3. pushes all the gossips it knows to one uniformly random process it
+//     has not pushed to yet.
+//
+// A process falls asleep once, for every other process, it has either made
+// a pull request to it or already knows its gossip. Sleeping processes
+// still answer pull requests (Definition IV.2 lets a delivered message
+// trigger activity).
+type PushPull struct{}
+
+// Name implements sim.Protocol.
+func (PushPull) Name() string { return "push-pull" }
+
+// New implements sim.Protocol.
+func (PushPull) New(envs []sim.Env) []sim.Process {
+	ar := newArena(len(envs))
+	return sim.BuildEach(envs, func(env sim.Env) sim.Process {
+		return newPushPullProc(env, ar)
+	})
+}
+
+type pushPullProc struct {
+	env    sim.Env
+	ar     *arena
+	known  bitset // gossips in G(ρ)
+	pulled bitset // processes a pull request was sent to
+	pushed bitset // processes that received all my gossips at least once
+	staged []sim.ProcID
+	// need counts processes q ≠ ρ with neither pulled(q) nor known(g_q);
+	// the sleep condition is need == 0.
+	need int
+	// noPush disables the push half — the state machine then implements
+	// the classic pull-only protocol of [19] (see Pull).
+	noPush bool
+}
+
+func newPushPullProc(env sim.Env, ar *arena) *pushPullProc {
+	p := &pushPullProc{
+		env:    env,
+		ar:     ar,
+		known:  newBitset(env.N),
+		pulled: newBitset(env.N),
+		pushed: newBitset(env.N),
+		need:   env.N - 1,
+	}
+	p.known.add(int(env.ID))
+	return p
+}
+
+// knownLen is the number of gossips ρ knows, which is also the length its
+// arena log will have once the staged entries are published.
+func (p *pushPullProc) knownLen() int32 {
+	return p.ar.len(p.env.ID) + int32(len(p.staged))
+}
+
+func (p *pushPullProc) learn(g sim.ProcID) {
+	if !p.known.add(int(g)) {
+		return
+	}
+	p.staged = append(p.staged, g)
+	if !p.pulled.has(int(g)) {
+		p.need--
+	}
+}
+
+func (p *pushPullProc) markPulled(q sim.ProcID) {
+	if p.pulled.add(int(q)) && !p.known.has(int(q)) {
+		p.need--
+	}
+}
+
+func (p *pushPullProc) merge(from sim.ProcID, gLen int32) {
+	for _, g := range p.ar.prefix(from, gLen) {
+		p.learn(g)
+	}
+}
+
+// Step implements sim.Process.
+func (p *pushPullProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outbox) {
+	for _, m := range delivered {
+		switch pl := m.Payload.(type) {
+		case pullPayload:
+			out.Send(m.From, batchPayload{GLen: p.knownLen()})
+			p.pushed.add(int(m.From))
+		case batchPayload:
+			p.merge(m.From, pl.GLen)
+		}
+	}
+	if p.need == 0 {
+		return // asleep: only pull responses above
+	}
+	// Pull: one uniformly random process with unknown gossip, not pulled yet.
+	if target, ok := p.pickPullTarget(); ok {
+		out.Send(target, pullPayload{})
+		p.markPulled(target)
+	}
+	if p.noPush {
+		return
+	}
+	// Push: one uniformly random process not pushed to yet.
+	if target, ok := p.pickUnpushed(); ok {
+		out.Send(target, batchPayload{GLen: p.knownLen()})
+		p.pushed.add(int(target))
+	}
+}
+
+// pickPullTarget draws uniformly from {q ≠ ρ : ¬known(g_q) ∧ ¬pulled(q)}
+// by reservoir sampling over one scan.
+func (p *pushPullProc) pickPullTarget() (sim.ProcID, bool) {
+	seen := 0
+	choice := -1
+	for q := 0; q < p.env.N; q++ {
+		if q == int(p.env.ID) || p.known.has(q) || p.pulled.has(q) {
+			continue
+		}
+		seen++
+		if p.env.RNG.Intn(seen) == 0 {
+			choice = q
+		}
+	}
+	if choice < 0 {
+		return 0, false
+	}
+	return sim.ProcID(choice), true
+}
+
+func (p *pushPullProc) pickUnpushed() (sim.ProcID, bool) {
+	seen := 0
+	choice := -1
+	for q := 0; q < p.env.N; q++ {
+		if q == int(p.env.ID) || p.pushed.has(q) {
+			continue
+		}
+		seen++
+		if p.env.RNG.Intn(seen) == 0 {
+			choice = q
+		}
+	}
+	if choice < 0 {
+		return 0, false
+	}
+	return sim.ProcID(choice), true
+}
+
+// Commit implements sim.Committer: publish this step's newly learned
+// gossips to the shared arena.
+func (p *pushPullProc) Commit(now sim.Step) {
+	p.ar.publish(p.env.ID, p.staged)
+	p.staged = p.staged[:0]
+}
+
+// Asleep implements sim.Process.
+func (p *pushPullProc) Asleep() bool { return p.need == 0 }
+
+// Knows implements sim.Process.
+func (p *pushPullProc) Knows(g sim.ProcID) bool { return p.known.has(int(g)) }

@@ -1,0 +1,123 @@
+package gossip
+
+import "github.com/ugf-sim/ugf/internal/sim"
+
+// Push and Pull are the two halves of the classic randomized
+// rumor-spreading trio of Karp et al. [19], from which the paper's
+// Push-Pull protocol (Section V-A2(a)) is derived. They are provided as
+// additional baselines: push-only spreads fresh rumors fast but wastes
+// messages once most processes are informed; pull-only is cheap late but
+// cannot guarantee that an unasked-for rumor spreads — Push-Pull combines
+// both, which is why the paper evaluates it.
+
+// Push is the push-only protocol: at each local step a process sends all
+// the gossips it knows to one uniformly random process, and falls asleep
+// once it has learned nothing new for an inactivity window of
+// ⌈N/(N−F)·ln N⌉ local steps (a delivery carrying news wakes it).
+//
+// Unlike EARS, push-only keeps no completion evidence at all: a process
+// cannot tell whether its own gossip ever landed anywhere. That is the
+// textbook weakness of the push half — under crash attacks the rumor of
+// an unlucky process can die with its receivers — and it is precisely
+// what the evidence machinery of the paper's evaluated protocols exists
+// to prevent. Keep Push as a baseline, not as a correct-under-attack
+// all-to-all protocol.
+type Push struct {
+	// WindowScale multiplies the inactivity window; 0 means 1.
+	WindowScale float64
+}
+
+// Name implements sim.Protocol.
+func (Push) Name() string { return "push" }
+
+// New implements sim.Protocol.
+func (p Push) New(envs []sim.Env) []sim.Process {
+	ar := newArena(len(envs))
+	return sim.BuildEach(envs, func(env sim.Env) sim.Process {
+		return &pushProc{
+			env:    env,
+			ar:     ar,
+			known:  knownWithSelf(env),
+			window: inactivityWindow(env.N, env.F, p.WindowScale),
+		}
+	})
+}
+
+func knownWithSelf(env sim.Env) bitset {
+	b := newBitset(env.N)
+	b.add(int(env.ID))
+	return b
+}
+
+type pushProc struct {
+	env    sim.Env
+	ar     *arena
+	known  bitset
+	staged []sim.ProcID
+	quiet  int
+	window int
+}
+
+func (p *pushProc) learnBatch(from sim.ProcID, gLen int32) bool {
+	news := false
+	for _, g := range p.ar.prefix(from, gLen) {
+		if p.known.add(int(g)) {
+			p.staged = append(p.staged, g)
+			news = true
+		}
+	}
+	return news
+}
+
+// Step implements sim.Process.
+func (p *pushProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outbox) {
+	news := false
+	for _, m := range delivered {
+		if p.learnBatch(m.From, m.Payload.(batchPayload).GLen) {
+			news = true
+		}
+	}
+	if news {
+		p.quiet = 0
+	} else {
+		p.quiet++
+	}
+	if p.Asleep() || p.env.N == 1 {
+		return
+	}
+	to := sim.ProcID(p.env.RNG.IntnExcept(p.env.N, int(p.env.ID)))
+	out.Send(to, batchPayload{GLen: p.ar.len(p.env.ID) + int32(len(p.staged))})
+}
+
+// Commit implements sim.Committer.
+func (p *pushProc) Commit(now sim.Step) {
+	p.ar.publish(p.env.ID, p.staged)
+	p.staged = p.staged[:0]
+}
+
+// Asleep implements sim.Process.
+func (p *pushProc) Asleep() bool { return p.quiet >= p.window }
+
+// Knows implements sim.Process.
+func (p *pushProc) Knows(g sim.ProcID) bool { return p.known.has(int(g)) }
+
+// Pull is the pull-only protocol of [19]: Push-Pull's state machine with
+// the push half removed. At each local step a process sends one pull
+// request to a uniformly random process whose gossip it does not know and
+// has not pulled from yet; requests are answered (even by sleeping
+// processes) with everything the responder knows. The sleep condition is
+// Push-Pull's: pulled-from or known, for every other process.
+type Pull struct{}
+
+// Name implements sim.Protocol.
+func (Pull) Name() string { return "pull" }
+
+// New implements sim.Protocol.
+func (Pull) New(envs []sim.Env) []sim.Process {
+	ar := newArena(len(envs))
+	return sim.BuildEach(envs, func(env sim.Env) sim.Process {
+		p := newPushPullProc(env, ar)
+		p.noPush = true
+		return p
+	})
+}

@@ -1,0 +1,49 @@
+package gossip
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+// ByName returns the protocol with the given registry name, configured
+// with the paper's experimental parameters. It reports false for unknown
+// names. Parameterized construction (custom α, c, ε, …) is done by
+// building the struct directly.
+func ByName(name string) (sim.Protocol, bool) {
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Names lists the registry names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MustByName is ByName for static names; it panics on unknown ones.
+func MustByName(name string) sim.Protocol {
+	p, ok := ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("gossip: unknown protocol %q (have %v)", name, Names()))
+	}
+	return p
+}
+
+var registry = map[string]sim.Protocol{
+	(PushPull{}).Name():     PushPull{},
+	(Push{}).Name():         Push{},
+	(Pull{}).Name():         Pull{},
+	(EARS{}).Name():         EARS{},
+	(SEARS{}).Name():        SEARS{},
+	(RoundRobin{}).Name():   RoundRobin{},
+	(Broadcast{}).Name():    Broadcast{},
+	(Doubling{}).Name():     Doubling{},
+	(Adaptive{}).Name():     Adaptive{},
+	(BudgetCapped{}).Name(): BudgetCapped{Alpha: 2},
+}

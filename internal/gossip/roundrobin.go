@@ -1,0 +1,93 @@
+package gossip
+
+import "github.com/ugf-sim/ugf/internal/sim"
+
+// RoundRobin is the deterministic protocol of Example 1: every process
+// fixes an order over the other processes (here: increasing IDs starting
+// after its own) and sends its own gossip to one of them per local step,
+// for N−1 steps. Any outcome has M(O) = Θ(N²) and T(O) = Θ(N) — the
+// paper's working definition of an inefficient dissemination, used as a
+// calibration baseline by the `example1` experiment.
+type RoundRobin struct{}
+
+// Name implements sim.Protocol.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// New implements sim.Protocol.
+func (RoundRobin) New(envs []sim.Env) []sim.Process {
+	return sim.BuildEach(envs, func(env sim.Env) sim.Process {
+		p := &roundRobinProc{env: env, known: newBitset(env.N)}
+		p.known.add(int(env.ID))
+		return p
+	})
+}
+
+type roundRobinProc struct {
+	env   sim.Env
+	known bitset
+	next  int // offset of the next recipient: sends to ID+1+next (mod N)
+}
+
+// Step implements sim.Process.
+func (p *roundRobinProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outbox) {
+	for _, m := range delivered {
+		p.known.add(int(m.Payload.(singlePayload).G))
+	}
+	if p.next < p.env.N-1 {
+		to := sim.ProcID((int(p.env.ID) + 1 + p.next) % p.env.N)
+		out.Send(to, singlePayload{G: p.env.ID})
+		p.next++
+	}
+}
+
+// Asleep implements sim.Process.
+func (p *roundRobinProc) Asleep() bool { return p.next >= p.env.N-1 }
+
+// Knows implements sim.Process.
+func (p *roundRobinProc) Knows(g sim.ProcID) bool { return p.known.has(int(g)) }
+
+// Broadcast is the trivial protocol from the paper's introduction: every
+// process sends its gossip to everyone in its first local step. One
+// communication round, N(N−1) messages — the ceiling on useful message
+// complexity that Section III-A argues makes "more than quadratic"
+// pointless for an adversary to aim for.
+type Broadcast struct{}
+
+// Name implements sim.Protocol.
+func (Broadcast) Name() string { return "broadcast" }
+
+// New implements sim.Protocol.
+func (Broadcast) New(envs []sim.Env) []sim.Process {
+	return sim.BuildEach(envs, func(env sim.Env) sim.Process {
+		p := &broadcastProc{env: env, known: newBitset(env.N)}
+		p.known.add(int(env.ID))
+		return p
+	})
+}
+
+type broadcastProc struct {
+	env   sim.Env
+	known bitset
+	done  bool
+}
+
+// Step implements sim.Process.
+func (p *broadcastProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outbox) {
+	for _, m := range delivered {
+		p.known.add(int(m.Payload.(singlePayload).G))
+	}
+	if !p.done {
+		p.done = true
+		for q := 0; q < p.env.N; q++ {
+			if q != int(p.env.ID) {
+				out.Send(sim.ProcID(q), singlePayload{G: p.env.ID})
+			}
+		}
+	}
+}
+
+// Asleep implements sim.Process.
+func (p *broadcastProc) Asleep() bool { return p.done }
+
+// Knows implements sim.Process.
+func (p *broadcastProc) Knows(g sim.ProcID) bool { return p.known.has(int(g)) }

@@ -1,0 +1,51 @@
+package gossip
+
+import (
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+// Scripted adversaries for protocol tests (the real adversaries live in
+// internal/core and internal/adversary; tests here stay dependency-light).
+
+// crashFirstK crashes processes 0..k-1 before step 1.
+type crashFirstK struct{ k int }
+
+func (c crashFirstK) Name() string { return "crash-first-k" }
+func (c crashFirstK) New(n, f int, rng *xrand.RNG) sim.AdversaryInstance {
+	return &crashFirstKInst{k: c.k}
+}
+
+type crashFirstKInst struct{ k int }
+
+func (a *crashFirstKInst) Init(v sim.View, ctl sim.Control) {
+	for p := 0; p < a.k; p++ {
+		ctl.Crash(sim.ProcID(p))
+	}
+}
+func (a *crashFirstKInst) Observe(sim.Step, []sim.SendRecord, sim.View, sim.Control) {}
+func (a *crashFirstKInst) Label() string                                             { return "" }
+
+// delayFirstK gives processes 0..k-1 local-step time delta and delivery
+// time delay before step 1 (a fixed Strategy 2.k.l-shaped attack).
+type delayFirstK struct {
+	k     int
+	delta sim.Step
+	delay sim.Step
+}
+
+func (d delayFirstK) Name() string { return "delay-first-k" }
+func (d delayFirstK) New(n, f int, rng *xrand.RNG) sim.AdversaryInstance {
+	return &delayFirstKInst{d: d}
+}
+
+type delayFirstKInst struct{ d delayFirstK }
+
+func (a *delayFirstKInst) Init(v sim.View, ctl sim.Control) {
+	for p := 0; p < a.d.k; p++ {
+		ctl.SetDelta(sim.ProcID(p), a.d.delta)
+		ctl.SetDelay(sim.ProcID(p), a.d.delay)
+	}
+}
+func (a *delayFirstKInst) Observe(sim.Step, []sim.SendRecord, sim.View, sim.Control) {}
+func (a *delayFirstKInst) Label() string                                             { return "" }

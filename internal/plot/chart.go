@@ -1,0 +1,160 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of a chart. Ys[i] pairs with the chart's
+// Xs[i]; NaN marks a missing point.
+type Series struct {
+	Name string
+	Ys   []float64
+}
+
+// Chart is an ASCII line chart: the terminal rendition of one panel of
+// the paper's Figure 3.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Xs     []float64
+	Series []Series
+	// Width and Height are the plot-area dimensions in characters;
+	// 0 means 64×20.
+	Width, Height int
+	// LogY plots the y axis in log₁₀ scale (useful when one series is
+	// quadratic and another logarithmic).
+	LogY bool
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Render draws the chart. It never fails; charts with no drawable points
+// render an empty frame.
+func (c Chart) Render() string {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	xMin, xMax := minMax(c.Xs)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		lo, hi := minMax(s.Ys)
+		yMin = math.Min(yMin, lo)
+		yMax = math.Max(yMax, hi)
+	}
+	if c.LogY {
+		if yMin <= 0 {
+			yMin = 0.1
+		}
+		yMin, yMax = math.Log10(yMin), math.Log10(math.Max(yMax, yMin*10))
+	}
+	if math.IsInf(yMin, 1) || xMin == xMax {
+		// Nothing to draw.
+		yMin, yMax = 0, 1
+		if xMin == xMax {
+			xMax = xMin + 1
+		}
+	}
+	if yMin == yMax {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		return int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+	}
+	row := func(y float64) int {
+		if c.LogY {
+			if y <= 0 {
+				return height - 1
+			}
+			y = math.Log10(y)
+		}
+		r := int(math.Round((y - yMin) / (yMax - yMin) * float64(height-1)))
+		return height - 1 - clampInt(r, 0, height-1)
+	}
+
+	for si, s := range c.Series {
+		mark := markers[si%len(markers)]
+		for i, y := range s.Ys {
+			if i >= len(c.Xs) || math.IsNaN(y) {
+				continue
+			}
+			r, cl := row(y), col(c.Xs[i])
+			grid[r][cl] = mark
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop, yBot := yMax, yMin
+	if c.LogY {
+		yTop, yBot = math.Pow(10, yMax), math.Pow(10, yMin)
+	}
+	labelTop := FormatFloat(yTop)
+	labelBot := FormatFloat(yBot)
+	pad := len(labelTop)
+	if len(labelBot) > pad {
+		pad = len(labelBot)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, labelTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, labelBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", pad), width-len(FormatFloat(xMax)), FormatFloat(xMin), FormatFloat(xMax))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s%s\n", strings.Repeat(" ", pad), c.XLabel, c.YLabel, logSuffix(c.LogY))
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", pad), markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func logSuffix(logY bool) string {
+	if logY {
+		return " (log scale)"
+	}
+	return ""
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,24 @@
+package plot_test
+
+import (
+	"os"
+
+	"github.com/ugf-sim/ugf/internal/plot"
+)
+
+func ExampleTable_markdown() {
+	t := &plot.Table{
+		Title:   "demo",
+		Columns: []string{"N", "T(O)"},
+	}
+	t.AddRow(10, 4.5)
+	t.AddRow(100, 49.5)
+	_ = t.Markdown(os.Stdout)
+	// Output:
+	// ### demo
+	//
+	// | N | T(O) |
+	// | --- | --- |
+	// | 10 | 4.500 |
+	// | 100 | 49.5 |
+}

@@ -1,0 +1,167 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{Title: "demo", Columns: []string{"N", "T", "M"}}
+	t.AddRow(10, 1.5, int64(100))
+	t.AddRow(20, 3.25, int64(400))
+	return t
+}
+
+func TestTableMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().Markdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"### demo", "| N | T | M |", "| --- | --- | --- |", "| 10 | 1.500 | 100 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3", len(lines))
+	}
+	if lines[0] != "N,T,M" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "10,1.500,100" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestTableText(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().Text(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "3.250") {
+		t.Errorf("text table incomplete:\n%s", out)
+	}
+	// Columns aligned: every data row has the same length.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines[2]) == 0 {
+		t.Error("missing separator")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{5, "5"},
+		{-3, "-3"},
+		{0, "0"},
+		{1.5, "1.500"},
+		{123.456, "123.5"},
+		{0.001234, "0.00123"},
+		{1.25e9, "1250000000"}, // integral values print without a fraction
+		{1.25e9 + 0.5, "1.25e+09"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	if FormatCell("x") != "x" {
+		t.Error("string cell")
+	}
+	if FormatCell(7) != "7" {
+		t.Error("int cell")
+	}
+	if FormatCell(int64(9)) != "9" {
+		t.Error("int64 cell")
+	}
+	if FormatCell(float32(2)) != "2" {
+		t.Error("float32 cell")
+	}
+	if FormatCell(true) != "true" {
+		t.Error("fallback cell")
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	ch := Chart{
+		Title:  "time vs N",
+		XLabel: "N",
+		YLabel: "T",
+		Xs:     []float64{10, 20, 30, 40},
+		Series: []Series{
+			{Name: "baseline", Ys: []float64{1, 2, 3, 4}},
+			{Name: "ugf", Ys: []float64{5, 10, 15, 20}},
+		},
+	}
+	out := ch.Render()
+	for _, want := range []string{"time vs N", "* baseline", "o ugf", "x: N", "y: T"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("chart has no plotted points")
+	}
+}
+
+func TestChartLogScale(t *testing.T) {
+	ch := Chart{
+		Xs:     []float64{1, 2, 3},
+		Series: []Series{{Name: "s", Ys: []float64{1, 100, 10000}}},
+		LogY:   true,
+	}
+	out := ch.Render()
+	if !strings.Contains(out, "log scale") && !strings.Contains(out, "s") {
+		t.Errorf("log chart rendering broken:\n%s", out)
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	// Empty, constant-x, NaN-laden charts must render without panicking.
+	charts := []Chart{
+		{},
+		{Xs: []float64{5, 5}, Series: []Series{{Name: "c", Ys: []float64{1, 1}}}},
+		{Xs: []float64{1, 2}, Series: []Series{{Name: "n", Ys: []float64{math.NaN(), math.NaN()}}}},
+		{Xs: []float64{1, 2}, Series: []Series{{Name: "z", Ys: []float64{3, 3}}}},
+	}
+	for i, ch := range charts {
+		if out := ch.Render(); out == "" {
+			t.Errorf("chart %d rendered empty", i)
+		}
+	}
+}
+
+func TestChartCustomSize(t *testing.T) {
+	ch := Chart{
+		Xs:     []float64{1, 2},
+		Series: []Series{{Name: "s", Ys: []float64{1, 2}}},
+		Width:  20, Height: 5,
+	}
+	out := ch.Render()
+	lines := strings.Split(out, "\n")
+	plotLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines++
+		}
+	}
+	if plotLines != 5 {
+		t.Errorf("plot rows = %d, want 5", plotLines)
+	}
+}

@@ -1,0 +1,134 @@
+// Package plot renders experiment results as Markdown tables, CSV files,
+// and ASCII line charts — the textual equivalents of the paper's figures,
+// suitable for terminals, logs, and EXPERIMENTS.md.
+package plot
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are formatted with FormatCell.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = FormatCell(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatCell renders a cell value compactly: integers verbatim, floats
+// with adaptive precision, everything else via fmt.
+func FormatCell(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		return FormatFloat(x)
+	case float32:
+		return FormatFloat(float64(x))
+	case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64:
+		return fmt.Sprintf("%d", x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// FormatFloat renders a float compactly: integral values without a
+// fraction, small values with three significant decimals, large values
+// with one.
+func FormatFloat(x float64) string {
+	switch {
+	case x == float64(int64(x)) && x < 1e15 && x > -1e15:
+		return strconv.FormatInt(int64(x), 10)
+	case x != 0 && (x < 0.01 && x > -0.01 || x >= 1e7 || x <= -1e7):
+		return strconv.FormatFloat(x, 'g', 3, 64)
+	case x < 10 && x > -10:
+		return strconv.FormatFloat(x, 'f', 3, 64)
+	default:
+		return strconv.FormatFloat(x, 'f', 1, 64)
+	}
+}
+
+// Markdown writes the table as GitHub-flavored Markdown.
+func (t *Table) Markdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table (header plus rows) as RFC 4180 CSV.
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Text renders a fixed-width plain-text view for terminals.
+func (t *Table) Text(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

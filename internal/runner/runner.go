@@ -1,0 +1,161 @@
+// Package runner executes batches of simulation runs on a worker pool.
+//
+// The experiments of the paper are embarrassingly parallel — Figure 3
+// alone is ~50 runs × 10 system sizes × 3 series × 5 panels — so the
+// harness fans individual runs out across goroutines. Each run derives its
+// seed deterministically from (spec base seed, run index); the outcome set
+// of a batch is therefore identical regardless of worker count or
+// scheduling, and every run can be reproduced in isolation from its
+// recorded seed.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+// Spec describes one experiment series: a configuration template repeated
+// Runs times with derived seeds.
+type Spec struct {
+	// Name labels the series in reports ("ears/ugf", "push-pull/none", …).
+	Name string
+	// Base is the configuration template. Its Seed field is ignored;
+	// run i uses xrand.Derive(BaseSeed, i).
+	Base sim.Config
+	// Runs is the number of repetitions (the paper uses 50).
+	Runs int
+	// BaseSeed seeds the series.
+	BaseSeed uint64
+}
+
+// Result pairs a Spec with the outcomes of its runs, in run order.
+type Result struct {
+	Spec     Spec
+	Outcomes []sim.Outcome
+}
+
+// Execute runs every spec's repetitions across workers goroutines
+// (workers ≤ 0 means GOMAXPROCS). progress, when non-nil, is called after
+// each completed run with the number done and the total. The first
+// configuration error aborts the batch.
+func Execute(specs []Spec, workers int, progress func(done, total int)) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct {
+		spec, run int
+	}
+	total := 0
+	results := make([]Result, len(specs))
+	for i, s := range specs {
+		if s.Runs <= 0 {
+			return nil, fmt.Errorf("runner: spec %q has Runs = %d", s.Name, s.Runs)
+		}
+		results[i] = Result{Spec: s, Outcomes: make([]sim.Outcome, s.Runs)}
+		total += s.Runs
+	}
+
+	jobs := make(chan job)
+	var (
+		wg       sync.WaitGroup
+		done     atomic.Int64
+		firstErr error
+		errOnce  sync.Once
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				spec := specs[j.spec]
+				cfg := spec.Base
+				cfg.Seed = xrand.Derive(spec.BaseSeed, uint64(j.run))
+				o, err := sim.Run(cfg)
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("runner: spec %q run %d: %w", spec.Name, j.run, err) })
+					continue
+				}
+				results[j.spec].Outcomes[j.run] = o
+				if progress != nil {
+					progress(int(done.Add(1)), total)
+				}
+			}
+		}()
+	}
+	for si := range specs {
+		for r := 0; r < specs[si].Runs; r++ {
+			jobs <- job{spec: si, run: r}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// Times extracts T(O) from each outcome.
+func Times(outs []sim.Outcome) []float64 {
+	xs := make([]float64, len(outs))
+	for i, o := range outs {
+		xs[i] = o.Time
+	}
+	return xs
+}
+
+// Messages extracts M(O) from each outcome.
+func Messages(outs []sim.Outcome) []float64 {
+	xs := make([]float64, len(outs))
+	for i, o := range outs {
+		xs[i] = float64(o.Messages)
+	}
+	return xs
+}
+
+// FilterStrategy returns the outcomes whose adversary committed to the
+// given strategy label (e.g. "2.1.0").
+func FilterStrategy(outs []sim.Outcome, label string) []sim.Outcome {
+	var sel []sim.Outcome
+	for _, o := range outs {
+		if o.Strategy == label {
+			sel = append(sel, o)
+		}
+	}
+	return sel
+}
+
+// GatheredRate returns the fraction of outcomes that achieved rumor
+// gathering (0 for an empty slice).
+func GatheredRate(outs []sim.Outcome) float64 {
+	if len(outs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, o := range outs {
+		if o.Gathered {
+			n++
+		}
+	}
+	return float64(n) / float64(len(outs))
+}
+
+// CutoffRate returns the fraction of outcomes cut off by the horizon or
+// event limit; such outcomes must not enter complexity statistics.
+func CutoffRate(outs []sim.Outcome) float64 {
+	if len(outs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, o := range outs {
+		if o.HorizonHit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(outs))
+}

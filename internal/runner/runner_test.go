@@ -1,0 +1,125 @@
+package runner
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/ugf-sim/ugf/internal/gossip"
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+func specs() []Spec {
+	return []Spec{
+		{Name: "pp", Base: sim.Config{N: 12, F: 3, Protocol: gossip.PushPull{}}, Runs: 6, BaseSeed: 1},
+		{Name: "rr", Base: sim.Config{N: 9, F: 0, Protocol: gossip.RoundRobin{}}, Runs: 4, BaseSeed: 2},
+	}
+}
+
+func TestExecuteRunsEverything(t *testing.T) {
+	results, err := Execute(specs(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if len(results[0].Outcomes) != 6 || len(results[1].Outcomes) != 4 {
+		t.Fatalf("wrong outcome counts: %d, %d", len(results[0].Outcomes), len(results[1].Outcomes))
+	}
+	for _, res := range results {
+		for i, o := range res.Outcomes {
+			if o.N == 0 {
+				t.Errorf("%s run %d: zero outcome", res.Spec.Name, i)
+			}
+		}
+	}
+}
+
+func TestExecuteDeterministicAcrossWorkerCounts(t *testing.T) {
+	a, err := Execute(specs(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(specs(), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("worker count changed outcomes")
+	}
+}
+
+func TestExecuteSeedsDiffer(t *testing.T) {
+	results, err := Execute(specs()[:1], 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, o := range results[0].Outcomes {
+		if seen[o.Seed] {
+			t.Fatalf("duplicate seed %d", o.Seed)
+		}
+		seen[o.Seed] = true
+	}
+}
+
+func TestExecuteProgress(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	last := 0
+	_, err := Execute(specs(), 3, func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if total != 10 {
+			t.Errorf("total = %d, want 10", total)
+		}
+		if done > last {
+			last = done
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 10 || last != 10 {
+		t.Errorf("progress calls = %d (last done %d), want 10", calls, last)
+	}
+}
+
+func TestExecuteConfigError(t *testing.T) {
+	bad := []Spec{{Name: "bad", Base: sim.Config{N: 0, Protocol: gossip.PushPull{}}, Runs: 2, BaseSeed: 1}}
+	if _, err := Execute(bad, 2, nil); err == nil {
+		t.Fatal("invalid config not reported")
+	}
+	zero := []Spec{{Name: "zero", Base: sim.Config{N: 5, Protocol: gossip.PushPull{}}, Runs: 0}}
+	if _, err := Execute(zero, 2, nil); err == nil {
+		t.Fatal("zero-run spec not rejected")
+	}
+}
+
+func TestExtractors(t *testing.T) {
+	outs := []sim.Outcome{
+		{Time: 1, Messages: 10, Strategy: "1", Gathered: true},
+		{Time: 2, Messages: 20, Strategy: "2.1.0", Gathered: false, HorizonHit: true},
+		{Time: 3, Messages: 30, Strategy: "1", Gathered: true},
+	}
+	if got := Times(outs); !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+		t.Errorf("Times = %v", got)
+	}
+	if got := Messages(outs); !reflect.DeepEqual(got, []float64{10, 20, 30}) {
+		t.Errorf("Messages = %v", got)
+	}
+	if got := FilterStrategy(outs, "1"); len(got) != 2 {
+		t.Errorf("FilterStrategy kept %d", len(got))
+	}
+	if got := GatheredRate(outs); got < 0.66 || got > 0.67 {
+		t.Errorf("GatheredRate = %v", got)
+	}
+	if got := CutoffRate(outs); got < 0.33 || got > 0.34 {
+		t.Errorf("CutoffRate = %v", got)
+	}
+	if GatheredRate(nil) != 0 || CutoffRate(nil) != 0 {
+		t.Error("empty-slice rates must be 0")
+	}
+}

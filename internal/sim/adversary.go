@@ -1,0 +1,143 @@
+package sim
+
+import "github.com/ugf-sim/ugf/internal/xrand"
+
+// Adversary constructs per-run adversary instances, mirroring Protocol.
+// One Adversary value describes a strategy family; New creates the mutable
+// per-run state.
+type Adversary interface {
+	// Name returns a short stable identifier ("ugf", "strategy-1", …).
+	Name() string
+	// New creates the adversary state for one run. n and f are the system
+	// size and the crash budget; rng is the adversary's private stream.
+	New(n, f int, rng *xrand.RNG) AdversaryInstance
+}
+
+// AdversaryInstance is the online, adaptive part of Definition II.5: it is
+// shown the state of the system and may crash processes (within the budget
+// F, enforced by Control) and rewrite local-step and delivery times.
+type AdversaryInstance interface {
+	// Init runs once, before global step 1. This is where UGF draws its
+	// strategy, samples the controlled set C, and applies initial crashes
+	// or delays (Algorithm 1 up to the online loop).
+	Init(view View, ctl Control)
+
+	// Observe runs at the start of every active global step — every step
+	// at which a delivery or a local step can occur — before the step's
+	// deliveries. events lists every send since the previous Observe call,
+	// which is exactly the online knowledge Strategy 2.k.0 needs: a send
+	// recorded at step t has DeliverAt ≥ t+1, so the receiver can still be
+	// crashed here, before its delivery.
+	//
+	// Steps at which provably nothing can happen (no delivery due, no
+	// schedulable local step) are skipped by the engine; an adaptive
+	// adversary gains no information from them, since the observable state
+	// is unchanged.
+	Observe(now Step, events []SendRecord, view View, ctl Control)
+
+	// Label identifies the strategy the instance committed to during this
+	// run (for example "1", "2.1.0", "2.3.2"), or "" when the notion does
+	// not apply. Experiments group outcomes by label to reproduce the
+	// per-strategy ("max UGF") series of Figure 3.
+	Label() string
+}
+
+// View is the adversary's read-only window onto the system state P_t.
+// The zero value is unusable; views are handed out by the engine.
+type View struct {
+	e *engine
+}
+
+// N returns the total number of processes.
+func (v View) N() int { return v.e.n }
+
+// F returns the crash budget.
+func (v View) F() int { return v.e.cfg.F }
+
+// Now returns the current global step (0 during Init).
+func (v View) Now() Step { return v.e.now }
+
+// Crashed reports whether p has been crashed.
+func (v View) Crashed(p ProcID) bool { return v.e.crashed[p] }
+
+// Asleep reports whether p is currently asleep (false for crashed
+// processes, which are not asleep but gone).
+func (v View) Asleep(p ProcID) bool { return !v.e.crashed[p] && !v.e.awake[p] }
+
+// SentCount returns the number of messages p has sent so far — M_ρ of the
+// execution prefix, which Strategy 2.k.0's t_{F/2} threshold is defined on.
+func (v View) SentCount(p ProcID) int64 { return v.e.sent[p] }
+
+// Delta returns p's current local step time δ_ρ.
+func (v View) Delta(p ProcID) Step { return v.e.delta[p] }
+
+// Delay returns p's current delivery time d_ρ.
+func (v View) Delay(p ProcID) Step { return v.e.delay[p] }
+
+// CorrectCount returns the number of processes that have not crashed.
+func (v View) CorrectCount() int { return v.e.n - v.e.crashCount }
+
+// Control is the adversary's write access to the system: crashes and
+// delay rewrites. It enforces the crash budget F.
+type Control struct {
+	e *engine
+}
+
+// Crash fails process p immediately: it takes no further local steps and
+// every undelivered message bound for it is discarded. Crash reports
+// whether the crash happened; it returns false when p is out of range,
+// already crashed, or the budget F is exhausted.
+func (c Control) Crash(p ProcID) bool {
+	e := c.e
+	if p < 0 || int(p) >= e.n || e.crashed[p] || e.crashCount >= e.cfg.F {
+		return false
+	}
+	e.crashProcess(p)
+	return true
+}
+
+// SetDelta rewrites δ_p to v (≥ 1) and re-anchors p's local-step schedule
+// at the current step: p's next local step is Now + v.
+func (c Control) SetDelta(p ProcID, v Step) {
+	e := c.e
+	if p < 0 || int(p) >= e.n {
+		panic("sim: SetDelta on process out of range")
+	}
+	if v < 1 {
+		panic("sim: SetDelta with non-positive step time")
+	}
+	e.delta[p] = v
+	e.anchor[p] = e.now
+	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "delta"})
+}
+
+// SetDelay rewrites d_p to v (≥ 1). Only messages sent after the rewrite
+// are affected; in-flight messages keep the delivery time stamped at send.
+func (c Control) SetDelay(p ProcID, v Step) {
+	e := c.e
+	if p < 0 || int(p) >= e.n {
+		panic("sim: SetDelay on process out of range")
+	}
+	if v < 1 {
+		panic("sim: SetDelay with non-positive delivery time")
+	}
+	e.delay[p] = v
+	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "delay"})
+}
+
+// BudgetLeft returns how many more processes may be crashed.
+func (c Control) BudgetLeft() int { return c.e.cfg.F - c.e.crashCount }
+
+// SetOmitFrom controls message omission for p: while enabled, every
+// message p sends is counted in M(O) and visible in the send records, but
+// never delivered — the network silently drops it. This models the
+// stronger omission adversary the paper raises as future work
+// (Section VII); the delay-only adversaries never use it.
+func (c Control) SetOmitFrom(p ProcID, omit bool) {
+	e := c.e
+	if p < 0 || int(p) >= e.n {
+		panic("sim: SetOmitFrom on process out of range")
+	}
+	e.omitted[p] = omit
+	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "omit"})
+}

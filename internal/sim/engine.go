@@ -1,0 +1,611 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+// Config fully describes one run. A run is a pure function of its Config
+// (including Seed); the Workers knob changes only how fast the run
+// executes, never its outcome.
+type Config struct {
+	// N is the number of processes (≥ 1).
+	N int
+	// F is the adversary's crash budget, 0 ≤ F < N. Protocols may also
+	// read F (EARS dimensions its inactivity window with it).
+	F int
+	// Protocol builds the per-process state machines. Required.
+	Protocol Protocol
+	// Adversary attacks the run; nil means no adversary (the paper's
+	// baseline: every δ_ρ = d_ρ = 1 and no crashes).
+	Adversary Adversary
+	// Seed determines every random choice of the run.
+	Seed uint64
+
+	// Horizon cuts off runs that have not quiesced by this global step.
+	// 0 means DefaultHorizon. Hitting it sets Outcome.HorizonHit.
+	Horizon Step
+	// MaxEvents cuts off runs after this many engine events (local steps
+	// plus messages), guarding against non-quiescent protocols that stay
+	// busy forever. 0 means DefaultMaxEvents. Hitting it sets HorizonHit.
+	MaxEvents int64
+	// Workers > 1 executes the local steps of each global step on that
+	// many goroutines. Outcomes are bit-identical to serial execution.
+	Workers int
+	// Trace receives engine events; nil disables tracing.
+	Trace TraceSink
+	// KeepPerProcess retains the per-process message counters in the
+	// Outcome (O(N) memory per outcome).
+	KeepPerProcess bool
+	// Sample, when non-nil, is called at most once every SampleEvery
+	// global steps with a progress snapshot — the dissemination curve.
+	// Computing a snapshot costs O(N²) Knows queries, so keep SampleEvery
+	// coarse on large systems.
+	Sample func(s Snapshot)
+	// SampleEvery is the minimum global-step distance between snapshots;
+	// 0 with a non-nil Sample means every active step.
+	SampleEvery Step
+}
+
+// Snapshot is a point on the dissemination curve.
+type Snapshot struct {
+	// Now is the global step of the snapshot.
+	Now Step
+	// Coverage is the fraction of ordered correct pairs (p, q), p ≠ q,
+	// where p knows q's gossip: 1 means rumor gathering is complete.
+	Coverage float64
+	// AwakeCorrect is the number of correct processes not asleep.
+	AwakeCorrect int
+	// Messages is M of the execution prefix.
+	Messages int64
+	// Crashed is the number of crashed processes.
+	Crashed int
+}
+
+// Default cutoffs. The horizon is deliberately enormous: the engine skips
+// inactive steps, so a large horizon costs nothing, and delay strategies
+// with τᵏ⁺ˡ in the billions still complete.
+const (
+	DefaultHorizon   Step  = 1 << 50
+	DefaultMaxEvents int64 = 1 << 30
+)
+
+// Domain tags for deterministic seed derivation (see xrand.Derive).
+const (
+	seedDomainProc uint64 = 1
+	seedDomainAdv  uint64 = 2
+)
+
+// AdversaryRNG returns a generator positioned exactly like the stream the
+// engine hands the adversary of a run with the given seed. It is exposed
+// so tooling can replay adversary draws offline — the indistinguishability
+// experiment uses it to reconstruct the controlled set C of a run.
+func AdversaryRNG(seed uint64) *xrand.RNG {
+	return xrand.New(xrand.Derive(seed, seedDomainAdv))
+}
+
+// Run executes one simulation to quiescence (or cutoff) and returns its
+// Outcome. The returned error reports configuration mistakes only; runs
+// cut off by Horizon/MaxEvents return a valid Outcome with HorizonHit set.
+func Run(cfg Config) (Outcome, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return Outcome{}, err
+	}
+	e.run()
+	return e.outcome(), nil
+}
+
+type engine struct {
+	cfg       Config
+	n         int
+	horizon   Step
+	maxEvents int64
+
+	now   Step
+	procs []Process
+	adv   AdversaryInstance
+
+	awake   []bool // false for sleeping AND crashed processes
+	crashed []bool
+	omitted []bool // sends from these processes are counted but dropped
+	delta   []Step
+	delay   []Step
+	anchor  []Step // local-step phase anchor: boundaries at anchor + k·δ, k ≥ 1
+
+	pending      [][]Message // arrived but not yet handed to the process
+	pendingCount []int64
+	inflight     map[Step][]Message
+	heap         stepHeap
+	inflightTo   []int64
+
+	sent     []int64
+	lastSend []Step
+
+	sendLog  []SendRecord
+	outboxes []Outbox
+	dueBuf   []ProcID
+
+	awakeCorrect      int
+	totalPending      int64
+	inflightToCorrect int64
+	msgTotal          int64
+	crashCount        int
+	eventCount        int64
+	horizonHit        bool
+	lastSample        Step
+
+	workers int
+	wg      sync.WaitGroup
+	panics  []any
+	panicMu sync.Mutex
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	switch {
+	case cfg.N < 1:
+		return nil, fmt.Errorf("sim: N = %d, need N ≥ 1", cfg.N)
+	case cfg.F < 0 || cfg.F >= cfg.N:
+		return nil, fmt.Errorf("sim: F = %d, need 0 ≤ F < N = %d", cfg.F, cfg.N)
+	case cfg.Protocol == nil:
+		return nil, errors.New("sim: Config.Protocol is required")
+	case cfg.Horizon < 0:
+		return nil, fmt.Errorf("sim: Horizon = %d, need ≥ 0", cfg.Horizon)
+	case cfg.MaxEvents < 0:
+		return nil, fmt.Errorf("sim: MaxEvents = %d, need ≥ 0", cfg.MaxEvents)
+	}
+	n := cfg.N
+	e := &engine{
+		cfg:          cfg,
+		n:            n,
+		horizon:      cfg.Horizon,
+		maxEvents:    cfg.MaxEvents,
+		awake:        make([]bool, n),
+		crashed:      make([]bool, n),
+		omitted:      make([]bool, n),
+		delta:        make([]Step, n),
+		delay:        make([]Step, n),
+		anchor:       make([]Step, n),
+		pending:      make([][]Message, n),
+		pendingCount: make([]int64, n),
+		inflight:     make(map[Step][]Message),
+		inflightTo:   make([]int64, n),
+		sent:         make([]int64, n),
+		lastSend:     make([]Step, n),
+		outboxes:     make([]Outbox, n),
+		awakeCorrect: n,
+		workers:      cfg.Workers,
+	}
+	if e.horizon == 0 {
+		e.horizon = DefaultHorizon
+	}
+	if e.maxEvents == 0 {
+		e.maxEvents = DefaultMaxEvents
+	}
+	envs := make([]Env, n)
+	for p := 0; p < n; p++ {
+		e.awake[p] = true
+		e.delta[p] = 1
+		e.delay[p] = 1
+		envs[p] = Env{
+			ID:  ProcID(p),
+			N:   n,
+			F:   cfg.F,
+			RNG: xrand.New(xrand.Derive(cfg.Seed, seedDomainProc, uint64(p))),
+		}
+	}
+	e.procs = cfg.Protocol.New(envs)
+	if len(e.procs) != n {
+		return nil, fmt.Errorf("sim: protocol %q built %d processes, want %d",
+			cfg.Protocol.Name(), len(e.procs), n)
+	}
+	if cfg.Adversary != nil {
+		advRNG := xrand.New(xrand.Derive(cfg.Seed, seedDomainAdv))
+		e.adv = cfg.Adversary.New(n, cfg.F, advRNG)
+	}
+	return e, nil
+}
+
+func (e *engine) run() {
+	if e.adv != nil {
+		e.adv.Init(View{e}, Control{e})
+	}
+	for !e.quiescent() {
+		t, ok := e.nextEventTime()
+		if !ok {
+			// Unreachable: a non-quiescent system always has either an
+			// awake (hence schedulable) process, a pending mailbox, or a
+			// message in flight. Treat it as a cutoff rather than hanging.
+			e.horizonHit = true
+			break
+		}
+		if t > e.horizon || e.eventCount > e.maxEvents {
+			e.horizonHit = true
+			break
+		}
+		e.now = t
+		if e.adv != nil {
+			events := e.sendLog
+			e.sendLog = e.sendLog[:0]
+			e.adv.Observe(t, events, View{e}, Control{e})
+		}
+		e.deliver(t)
+		e.localSteps(t)
+		if e.cfg.Sample != nil && t >= e.lastSample+e.cfg.SampleEvery {
+			e.lastSample = t
+			e.cfg.Sample(e.snapshot())
+		}
+	}
+	if e.cfg.Sample != nil && (e.lastSample == 0 || e.lastSample != e.now) {
+		e.cfg.Sample(e.snapshot()) // final point of the curve
+	}
+	if e.cfg.Trace != nil {
+		note := "quiescence"
+		if e.horizonHit {
+			note = "horizon"
+		}
+		e.trace(TraceEvent{Kind: TraceEnd, Step: e.now, Proc: -1, Other: -1, Note: note})
+	}
+}
+
+func (e *engine) quiescent() bool {
+	return e.awakeCorrect == 0 && e.totalPending == 0 && e.inflightToCorrect == 0
+}
+
+// nextEventTime returns the earliest future global step at which anything
+// can happen: a message arrival, or a local step of a process that is
+// awake or has undelivered mail. Steps in between are provably inert and
+// are skipped, which is what makes delays of τᵏ⁺ˡ steps affordable.
+func (e *engine) nextEventTime() (Step, bool) {
+	t := Step(math.MaxInt64)
+	ok := false
+	if len(e.heap) > 0 {
+		t = e.heap[0]
+		ok = true
+	}
+	for p := 0; p < e.n; p++ {
+		if e.crashed[p] || (!e.awake[p] && e.pendingCount[p] == 0) {
+			continue
+		}
+		if b := e.nextBoundary(ProcID(p)); b < t {
+			t = b
+			ok = true
+		}
+	}
+	return t, ok
+}
+
+// nextBoundary returns the earliest local-step boundary of p that is
+// strictly after the current step.
+func (e *engine) nextBoundary(p ProcID) Step {
+	a, d := e.anchor[p], e.delta[p]
+	min := e.now + 1
+	if a+d >= min {
+		return a + d
+	}
+	k := (min - a + d - 1) / d
+	return a + k*d
+}
+
+// boundaryAt reports whether p has a local-step boundary exactly at t.
+func (e *engine) boundaryAt(p ProcID, t Step) bool {
+	a := e.anchor[p]
+	return t > a && (t-a)%e.delta[p] == 0
+}
+
+func (e *engine) deliver(t Step) {
+	bucket, ok := e.inflight[t]
+	if !ok {
+		return
+	}
+	delete(e.inflight, t)
+	for len(e.heap) > 0 && e.heap[0] <= t {
+		e.heap.pop()
+	}
+	for _, m := range bucket {
+		if e.crashed[m.To] {
+			// inflightTo[m.To] was zeroed when To crashed; just drop.
+			continue
+		}
+		e.pending[m.To] = append(e.pending[m.To], m)
+		e.pendingCount[m.To]++
+		e.totalPending++
+		e.inflightTo[m.To]--
+		e.inflightToCorrect--
+		if e.cfg.Trace != nil {
+			e.trace(TraceEvent{Kind: TraceArrive, Step: t, Proc: m.To, Other: m.From, Payload: m.Payload})
+		}
+	}
+}
+
+func (e *engine) localSteps(t Step) {
+	due := e.dueBuf[:0]
+	for p := 0; p < e.n; p++ {
+		if e.crashed[p] || (!e.awake[p] && e.pendingCount[p] == 0) {
+			continue
+		}
+		if e.boundaryAt(ProcID(p), t) {
+			due = append(due, ProcID(p))
+		}
+	}
+	e.dueBuf = due
+	if len(due) == 0 {
+		return
+	}
+
+	if e.workers > 1 && len(due) >= 2*e.workers {
+		e.stepParallel(t, due)
+	} else {
+		for _, p := range due {
+			e.stepOne(t, p)
+		}
+	}
+
+	// Commit phase: deterministic, in ascending process order.
+	for _, p := range due {
+		e.commitOne(t, p)
+	}
+}
+
+// stepOne runs the protocol handler of p for its local step at t. It only
+// touches p-local engine state, so distinct processes may step in parallel.
+func (e *engine) stepOne(t Step, p ProcID) {
+	ob := &e.outboxes[p]
+	ob.reset(p, e.n)
+	e.procs[p].Step(t, e.pending[p], ob)
+}
+
+// commitOne publishes the effects of p's local step: mailbox consumption,
+// sleep/wake transitions, and sends. Must run serially in process order.
+func (e *engine) commitOne(t Step, p ProcID) {
+	if e.cfg.Trace != nil {
+		e.trace(TraceEvent{Kind: TraceLocalStep, Step: t, Proc: p, Other: -1})
+	}
+	e.anchor[p] = t
+	e.totalPending -= e.pendingCount[p]
+	e.pendingCount[p] = 0
+	e.pending[p] = e.pending[p][:0]
+	e.eventCount++
+
+	ob := &e.outboxes[p]
+	for _, d := range ob.drafts {
+		e.msgTotal++
+		e.sent[p]++
+		e.lastSend[p] = t
+		e.eventCount++
+		deliverAt := t + e.delay[p]
+		e.sendLog = append(e.sendLog, SendRecord{From: p, To: d.to, SentAt: t, DeliverAt: deliverAt})
+		if e.cfg.Trace != nil {
+			e.trace(TraceEvent{Kind: TraceSend, Step: t, Proc: p, Other: d.to, Payload: d.payload})
+		}
+		if e.crashed[d.to] || e.omitted[p] {
+			continue // counted in M(O), but undeliverable
+		}
+		bucket, ok := e.inflight[deliverAt]
+		if !ok {
+			e.heap.push(deliverAt)
+		}
+		e.inflight[deliverAt] = append(bucket, Message{
+			From: p, To: d.to, SentAt: t, DeliverAt: deliverAt, Payload: d.payload,
+		})
+		e.inflightTo[d.to]++
+		e.inflightToCorrect++
+	}
+	ob.drafts = ob.drafts[:0]
+
+	if c, ok := e.procs[p].(Committer); ok {
+		c.Commit(t)
+	}
+
+	asleep := e.procs[p].Asleep()
+	switch {
+	case asleep && e.awake[p]:
+		e.awake[p] = false
+		e.awakeCorrect--
+		if e.cfg.Trace != nil {
+			e.trace(TraceEvent{Kind: TraceSleep, Step: t, Proc: p, Other: -1})
+		}
+	case !asleep && !e.awake[p]:
+		e.awake[p] = true
+		e.awakeCorrect++
+		if e.cfg.Trace != nil {
+			e.trace(TraceEvent{Kind: TraceWake, Step: t, Proc: p, Other: -1})
+		}
+	}
+}
+
+func (e *engine) stepParallel(t Step, due []ProcID) {
+	workers := e.workers
+	if workers > len(due) {
+		workers = len(due)
+	}
+	chunk := (len(due) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(due) {
+			hi = len(due)
+		}
+		if lo >= hi {
+			break
+		}
+		e.wg.Add(1)
+		go func(part []ProcID) {
+			defer e.wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					e.panicMu.Lock()
+					e.panics = append(e.panics, r)
+					e.panicMu.Unlock()
+				}
+			}()
+			for _, p := range part {
+				e.stepOne(t, p)
+			}
+		}(due[lo:hi])
+	}
+	e.wg.Wait()
+	if len(e.panics) > 0 {
+		panic(e.panics[0])
+	}
+}
+
+func (e *engine) crashProcess(p ProcID) {
+	e.crashed[p] = true
+	e.crashCount++
+	if e.awake[p] {
+		e.awake[p] = false
+		e.awakeCorrect--
+	}
+	e.totalPending -= e.pendingCount[p]
+	e.pendingCount[p] = 0
+	e.pending[p] = nil
+	e.inflightToCorrect -= e.inflightTo[p]
+	e.inflightTo[p] = 0
+	e.trace(TraceEvent{Kind: TraceCrash, Step: e.now, Proc: p, Other: -1})
+}
+
+func (e *engine) trace(ev TraceEvent) {
+	if e.cfg.Trace != nil {
+		e.cfg.Trace.Event(ev)
+	}
+}
+
+func (e *engine) outcome() Outcome {
+	o := Outcome{
+		Protocol:   e.cfg.Protocol.Name(),
+		Adversary:  "none",
+		N:          e.n,
+		F:          e.cfg.F,
+		Seed:       e.cfg.Seed,
+		Quiescence: e.now,
+		Messages:   e.msgTotal,
+		Crashed:    e.crashCount,
+		HorizonHit: e.horizonHit,
+	}
+	if e.cfg.Adversary != nil {
+		o.Adversary = e.cfg.Adversary.Name()
+		o.Strategy = e.adv.Label()
+	}
+	for p := 0; p < e.n; p++ {
+		if e.crashed[p] {
+			continue
+		}
+		if e.lastSend[p] > o.TEnd {
+			o.TEnd = e.lastSend[p]
+		}
+		if e.delta[p] > o.DeltaMax {
+			o.DeltaMax = e.delta[p]
+		}
+		if e.delay[p] > o.DelayMax {
+			o.DelayMax = e.delay[p]
+		}
+	}
+	if norm := o.DeltaMax + o.DelayMax; norm > 0 {
+		o.Time = float64(o.TEnd) / float64(norm)
+	}
+	o.Gathered = e.gathered()
+	if e.cfg.KeepPerProcess {
+		o.PerProcessMsgs = append([]int64(nil), e.sent...)
+	}
+	return o
+}
+
+// snapshot computes a progress point for Config.Sample.
+func (e *engine) snapshot() Snapshot {
+	s := Snapshot{
+		Now:          e.now,
+		AwakeCorrect: e.awakeCorrect,
+		Messages:     e.msgTotal,
+		Crashed:      e.crashCount,
+	}
+	correct := e.n - e.crashCount
+	if correct < 2 {
+		s.Coverage = 1
+		return s
+	}
+	known, pairs := 0, 0
+	for p := 0; p < e.n; p++ {
+		if e.crashed[p] {
+			continue
+		}
+		for q := 0; q < e.n; q++ {
+			if q == p || e.crashed[q] {
+				continue
+			}
+			pairs++
+			if e.procs[p].Knows(ProcID(q)) {
+				known++
+			}
+		}
+	}
+	s.Coverage = float64(known) / float64(pairs)
+	return s
+}
+
+// gathered checks rumor gathering (Definition II.1): every correct process
+// knows the gossip of every correct process.
+func (e *engine) gathered() bool {
+	for p := 0; p < e.n; p++ {
+		if e.crashed[p] {
+			continue
+		}
+		for q := 0; q < e.n; q++ {
+			if q == p || e.crashed[q] {
+				continue
+			}
+			if !e.procs[p].Knows(ProcID(q)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// stepHeap is a binary min-heap of delivery-bucket keys. Each key is pushed
+// once, when its bucket is created.
+type stepHeap []Step
+
+func (h *stepHeap) push(v Step) {
+	*h = append(*h, v)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *stepHeap) pop() Step {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s) && s[l] < s[smallest] {
+			smallest = l
+		}
+		if r < len(s) && s[r] < s[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}

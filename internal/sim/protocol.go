@@ -1,0 +1,134 @@
+package sim
+
+import "github.com/ugf-sim/ugf/internal/xrand"
+
+// Env is everything a protocol instance may depend on: its identity, the
+// system constants of Section II, and a private deterministic random
+// stream. Protocols must draw randomness exclusively from Env.RNG — that is
+// what makes parallel stepping deterministic.
+type Env struct {
+	ID  ProcID
+	N   int // total number of processes
+	F   int // maximum number of crashes the system is dimensioned for
+	RNG *xrand.RNG
+}
+
+// Protocol constructs the process instances of one run. Implementations
+// are stateless factories: one Protocol value may be shared by many
+// concurrent runs, and all mutable state must live in the values New
+// returns.
+//
+// New builds all N processes at once so that a protocol can set up state
+// shared by the whole run — for example the append-only knowledge logs
+// that EARS processes expose to each other. Such shared state must follow
+// the engine's phase discipline: reads may happen during the (possibly
+// parallel) Step phase, writes only inside Commit (see Committer).
+type Protocol interface {
+	// Name returns a short stable identifier ("push-pull", "ears", …).
+	Name() string
+	// New creates the state machines of one run; envs[i] describes
+	// process i. The returned slice must have len(envs) entries.
+	New(envs []Env) []Process
+}
+
+// BuildEach adapts a purely per-process constructor to Protocol.New's
+// batch form, for protocols without shared run state.
+func BuildEach(envs []Env, build func(Env) Process) []Process {
+	procs := make([]Process, len(envs))
+	for i, env := range envs {
+		procs[i] = build(env)
+	}
+	return procs
+}
+
+// Committer is an optional Process extension for protocols with shared
+// run state. When a process implements it, the engine calls Commit once
+// after every local step of that process, serially and in ascending
+// process order, once all Step calls of the global step have returned.
+// Publication of anything other processes may read (log appends, shared
+// indexes) must happen here, never inside Step — that is what keeps the
+// parallel stepping mode race-free and bit-identical to serial execution.
+type Committer interface {
+	Commit(now Step)
+}
+
+// Process is one process's protocol state machine, driven by the engine.
+//
+// Implementations are confined: during Step they may touch only their own
+// state, the delivered messages (treating payloads as immutable), and their
+// Env.RNG. They must not retain the Outbox past the call.
+type Process interface {
+	// Step runs one local step at global step now. delivered holds every
+	// message that arrived since the previous local step, in arrival order
+	// (possibly empty, for the process's very first steps). The process
+	// emits sends through out.
+	Step(now Step, delivered []Message, out *Outbox)
+
+	// Asleep reports whether the process has fallen asleep in the sense of
+	// Definition IV.2: it will not send anything at future local steps
+	// unless a delivered message changes its state. The engine uses it for
+	// quiescence detection and to skip the local steps of sleeping
+	// processes with an empty mailbox (which are no-ops by definition).
+	Asleep() bool
+
+	// Knows reports whether the process currently holds the gossip
+	// originated by process g. It backs the rumor-gathering check
+	// (Definition II.1) performed at the end of a run.
+	Knows(g ProcID) bool
+}
+
+// Outbox collects the sends of one local step. The engine stamps send and
+// delivery times and routes the messages; processes only choose recipients
+// and payloads.
+type Outbox struct {
+	from   ProcID
+	n      int
+	drafts []draft
+}
+
+type draft struct {
+	to      ProcID
+	payload Payload
+}
+
+// NewOutbox returns an Outbox collecting sends from the given process in a
+// system of n processes. The engine manages its own outboxes; this
+// constructor exists for protocol unit tests and custom drivers.
+func NewOutbox(from ProcID, n int) Outbox {
+	var o Outbox
+	o.reset(from, n)
+	return o
+}
+
+// Drain returns the queued sends as (to, payload) messages and empties the
+// outbox. Like NewOutbox it exists for tests and custom drivers.
+func (o *Outbox) Drain() []Message {
+	msgs := make([]Message, len(o.drafts))
+	for i, d := range o.drafts {
+		msgs[i] = Message{From: o.from, To: d.to, Payload: d.payload}
+	}
+	o.drafts = o.drafts[:0]
+	return msgs
+}
+
+func (o *Outbox) reset(from ProcID, n int) {
+	o.from = from
+	o.n = n
+	o.drafts = o.drafts[:0]
+}
+
+// Send queues one message to process to. It panics if to is out of range
+// or the process addresses itself — both are protocol bugs, not runtime
+// conditions.
+func (o *Outbox) Send(to ProcID, payload Payload) {
+	if to < 0 || int(to) >= o.n {
+		panic("sim: send to process out of range")
+	}
+	if to == o.from {
+		panic("sim: process sent a message to itself")
+	}
+	o.drafts = append(o.drafts, draft{to: to, payload: payload})
+}
+
+// Len reports how many messages have been queued this local step.
+func (o *Outbox) Len() int { return len(o.drafts) }

@@ -1,0 +1,97 @@
+package sim
+
+import "fmt"
+
+// TraceKind classifies trace events.
+type TraceKind uint8
+
+// Trace event kinds emitted by the engine.
+const (
+	TraceSend      TraceKind = iota // Proc sent a message to Other
+	TraceArrive                     // a message from Other arrived at Proc
+	TraceLocalStep                  // Proc executed a local step
+	TraceCrash                      // the adversary crashed Proc
+	TraceSleep                      // Proc fell asleep
+	TraceWake                       // Proc resumed after sleeping
+	TraceAdversary                  // the adversary rewrote Proc's delta/delay (Note says which)
+	TraceEnd                        // the run ended (Note: "quiescence" or "horizon")
+)
+
+var traceKindNames = [...]string{
+	TraceSend:      "send",
+	TraceArrive:    "arrive",
+	TraceLocalStep: "step",
+	TraceCrash:     "crash",
+	TraceSleep:     "sleep",
+	TraceWake:      "wake",
+	TraceAdversary: "adversary",
+	TraceEnd:       "end",
+}
+
+func (k TraceKind) String() string {
+	if int(k) < len(traceKindNames) {
+		return traceKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// TraceEvent is one observable engine event. Payload is set only for
+// TraceSend and TraceArrive; Other is the peer process when meaningful
+// and -1 otherwise.
+type TraceEvent struct {
+	Kind    TraceKind
+	Step    Step
+	Proc    ProcID
+	Other   ProcID
+	Payload Payload
+	Note    string
+}
+
+func (ev TraceEvent) String() string {
+	switch ev.Kind {
+	case TraceSend, TraceArrive:
+		kind := "?"
+		if ev.Payload != nil {
+			kind = ev.Payload.Kind()
+		}
+		return fmt.Sprintf("t=%d %s %d<->%d %s", ev.Step, ev.Kind, ev.Proc, ev.Other, kind)
+	case TraceAdversary, TraceEnd:
+		return fmt.Sprintf("t=%d %s p=%d %s", ev.Step, ev.Kind, ev.Proc, ev.Note)
+	default:
+		return fmt.Sprintf("t=%d %s p=%d", ev.Step, ev.Kind, ev.Proc)
+	}
+}
+
+// TraceSink receives engine events. Implementations must be fast; the
+// engine calls Event synchronously from the stepping loop. A nil sink in
+// Config disables tracing entirely (zero overhead).
+type TraceSink interface {
+	Event(ev TraceEvent)
+}
+
+// Recorder is a TraceSink that appends every event to memory. It is meant
+// for tests and for the ugfsim CLI on small runs; recording a large run
+// will allocate proportionally to its event count.
+type Recorder struct {
+	Events []TraceEvent
+}
+
+// Event implements TraceSink.
+func (r *Recorder) Event(ev TraceEvent) { r.Events = append(r.Events, ev) }
+
+// Count returns the number of events of the given kind.
+func (r *Recorder) Count(kind TraceKind) int {
+	n := 0
+	for _, ev := range r.Events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// FuncSink adapts a function to the TraceSink interface.
+type FuncSink func(ev TraceEvent)
+
+// Event implements TraceSink.
+func (f FuncSink) Event(ev TraceEvent) { f(ev) }

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"sort"
+
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies inside the interval (inclusive).
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// BootstrapCI computes a percentile-bootstrap confidence interval for an
+// arbitrary sample statistic. level is the coverage (e.g. 0.95), resamples
+// the number of bootstrap replicates, and seed makes the interval
+// deterministic. An empty sample yields a zero interval.
+func BootstrapCI(xs []float64, stat func([]float64) float64, level float64, resamples int, seed uint64) Interval {
+	if len(xs) == 0 || resamples < 1 {
+		return Interval{}
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	rng := xrand.New(seed)
+	replicates := make([]float64, resamples)
+	scratch := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range scratch {
+			scratch[i] = xs[rng.Intn(len(xs))]
+		}
+		replicates[r] = stat(scratch)
+	}
+	sort.Float64s(replicates)
+	alpha := (1 - level) / 2
+	return Interval{
+		Lo: quantileSorted(replicates, alpha),
+		Hi: quantileSorted(replicates, 1-alpha),
+	}
+}
+
+// MedianCI is BootstrapCI specialized to the median — the statistic the
+// paper plots (its shaded bands are Q1–Q3; the CI here quantifies the
+// median's own sampling noise when comparing against the paper's curves).
+func MedianCI(xs []float64, level float64, seed uint64) Interval {
+	return BootstrapCI(xs, Median, level, 1000, seed)
+}

@@ -1,0 +1,32 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"github.com/ugf-sim/ugf/internal/stats"
+)
+
+func ExampleSummarize() {
+	s := stats.Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	fmt.Printf("median=%.1f IQR=[%.1f, %.1f] mean=%.1f\n", s.Median, s.Q1, s.Q3, s.Mean)
+	// Output:
+	// median=4.5 IQR=[4.0, 5.5] mean=5.0
+}
+
+func ExampleLogLogFit() {
+	// Verify a shape claim: these message counts grow quadratically.
+	ns := []float64{10, 50, 100, 500}
+	ms := []float64{300, 7500, 30000, 750000} // 3·N²
+	fit := stats.LogLogFit(ns, ms)
+	fmt.Printf("growth exponent: %.1f\n", fit.Slope)
+	// Output:
+	// growth exponent: 2.0
+}
+
+func ExampleMedianCI() {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	iv := stats.MedianCI(xs, 0.95, 42)
+	fmt.Println(iv.Contains(stats.Median(xs)))
+	// Output:
+	// true
+}

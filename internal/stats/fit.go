@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fit is an ordinary least-squares line fit y ≈ Intercept + Slope·x with
+// its coefficient of determination.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+func (f Fit) String() string {
+	return fmt.Sprintf("slope=%.3f intercept=%.3f R²=%.3f", f.Slope, f.Intercept, f.R2)
+}
+
+// LinearFit fits y ≈ a + b·x by least squares. It panics if the slices
+// have different lengths and returns a zero Fit for fewer than two points.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) {
+		panic("stats: LinearFit with mismatched lengths")
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return Fit{}
+	}
+	meanX := Mean(xs)
+	meanY := Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx := xs[i] - meanX
+		dy := ys[i] - meanY
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{Intercept: meanY}
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: meanY - slope*meanX}
+	if syy == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	_ = n
+	return fit
+}
+
+// LogLogFit fits log(y) ≈ a + b·log(x): the returned Slope is the growth
+// exponent (≈1 for linear growth, ≈2 for quadratic). Points with
+// non-positive x or y are skipped; fewer than two usable points yield a
+// zero Fit.
+//
+// The experiment harness uses it to verify the paper's shape claims: for
+// example, the round-robin protocol of Example 1 must fit M(N) with
+// exponent ≈ 2 and T(N) with exponent ≈ 1.
+func LogLogFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) {
+		panic("stats: LogLogFit with mismatched lengths")
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	return LinearFit(lx, ly)
+}

@@ -1,0 +1,107 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: summary statistics (the paper reports medians with first
+// and third quartiles over 50 runs), bootstrap confidence intervals, and
+// log-log regression used to verify shape claims such as "quadratic in N"
+// or "linear in F".
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics of one sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Std    float64 // sample standard deviation (n−1)
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Q1 = quantileSorted(sorted, 0.25)
+	s.Median = quantileSorted(sorted, 0.5)
+	s.Q3 = quantileSorted(sorted, 0.75)
+	s.Mean = Mean(xs)
+	s.Std = math.Sqrt(variance(xs, s.Mean))
+	return s
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample), using
+// Kahan-compensated summation so that long low-variance samples do not
+// lose precision.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return kahanSum(xs) / float64(len(xs))
+}
+
+func kahanSum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+func variance(xs []float64, mean float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		d := x - mean
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// Median returns the sample median (0 for an empty sample).
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-th sample quantile (0 ≤ q ≤ 1) with linear
+// interpolation between order statistics (type-7, the R default).
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

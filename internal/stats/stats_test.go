@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeKnownSample(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(xs)
+	if s.Count != 8 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if !almostEqual(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample std of this classic sample is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7); !almostEqual(s.Std, want, 1e-12) {
+		t.Errorf("Std = %v, want %v", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if !almostEqual(s.Median, 4.5, 1e-12) {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+	if !almostEqual(s.Q1, 4, 1e-12) {
+		t.Errorf("Q1 = %v, want 4", s.Q1)
+	}
+	if !almostEqual(s.Q3, 5.5, 1e-12) {
+		t.Errorf("Q3 = %v, want 5.5", s.Q3)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || Quantile(nil, 0.5) != 0 {
+		t.Error("empty-sample helpers must return 0")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Error("extreme quantiles wrong")
+	}
+	if Quantile(xs, -0.5) != 1 || Quantile(xs, 2) != 4 {
+		t.Error("out-of-range quantiles must clamp")
+	}
+	if got := Quantile([]float64{10}, 0.73); got != 10 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	rng := xrand.New(1)
+	prop := func(seed uint64) bool {
+		n := 1 + int(seed%40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return Quantile(xs, 0) == sorted[0] && Quantile(xs, 1) == sorted[n-1]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanKahanPrecision(t *testing.T) {
+	// 1e8 copies of 0.1 summed naively drift; Kahan must stay exact to
+	// ~1e-8. Use a smaller but still telling case.
+	xs := make([]float64, 1_000_000)
+	for i := range xs {
+		xs[i] = 0.1
+	}
+	if got := Mean(xs); !almostEqual(got, 0.1, 1e-15) {
+		t.Errorf("Kahan mean = %.18f, want 0.1", got)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	f := LinearFit(xs, ys)
+	if !almostEqual(f.Slope, 2, 1e-12) || !almostEqual(f.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v", f)
+	}
+	if !almostEqual(f.R2, 1, 1e-12) {
+		t.Errorf("R² = %v, want 1", f.R2)
+	}
+	if f.String() == "" {
+		t.Error("empty Fit string")
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if f := LinearFit([]float64{5}, []float64{7}); f != (Fit{}) {
+		t.Errorf("single-point fit = %+v", f)
+	}
+	// Vertical data: zero x-variance.
+	f := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if f.Slope != 0 || !almostEqual(f.Intercept, 2, 1e-12) {
+		t.Errorf("vertical fit = %+v", f)
+	}
+}
+
+func TestLinearFitPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	LinearFit([]float64{1}, []float64{1, 2})
+}
+
+func TestLogLogFitRecoversExponent(t *testing.T) {
+	var xs, ys []float64
+	for _, n := range []float64{10, 20, 50, 100, 200, 500} {
+		xs = append(xs, n)
+		ys = append(ys, 3.7*n*n) // exponent 2
+	}
+	f := LogLogFit(xs, ys)
+	if !almostEqual(f.Slope, 2, 1e-9) {
+		t.Errorf("exponent = %v, want 2", f.Slope)
+	}
+	if !almostEqual(math.Exp(f.Intercept), 3.7, 1e-6) {
+		t.Errorf("coefficient = %v, want 3.7", math.Exp(f.Intercept))
+	}
+}
+
+func TestLogLogFitSkipsNonPositive(t *testing.T) {
+	f := LogLogFit([]float64{0, -1, 2, 4, 8}, []float64{5, 5, 4, 8, 16})
+	if !almostEqual(f.Slope, 1, 1e-9) {
+		t.Errorf("exponent = %v, want 1 after skipping bad points", f.Slope)
+	}
+	if f2 := LogLogFit([]float64{0}, []float64{1}); f2 != (Fit{}) {
+		t.Errorf("all-skipped fit = %+v", f2)
+	}
+}
+
+func TestBootstrapCICoversTruth(t *testing.T) {
+	// Sample from a known distribution; the 95% CI for the median should
+	// contain the sample median essentially always, and the population
+	// median most of the time.
+	rng := xrand.New(42)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 10
+	}
+	iv := MedianCI(xs, 0.95, 7)
+	if !iv.Contains(Median(xs)) {
+		t.Errorf("CI %+v does not contain the sample median %v", iv, Median(xs))
+	}
+	if !iv.Contains(10) && math.Abs(iv.Lo-10) > 1 && math.Abs(iv.Hi-10) > 1 {
+		t.Errorf("CI %+v implausibly far from population median 10", iv)
+	}
+	if iv.Lo > iv.Hi {
+		t.Errorf("inverted interval %+v", iv)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a := MedianCI(xs, 0.95, 3)
+	b := MedianCI(xs, 0.95, 3)
+	if a != b {
+		t.Errorf("non-deterministic CI: %+v vs %+v", a, b)
+	}
+}
+
+func TestBootstrapCIEdges(t *testing.T) {
+	if iv := BootstrapCI(nil, Median, 0.95, 100, 1); iv != (Interval{}) {
+		t.Errorf("empty-sample CI = %+v", iv)
+	}
+	// Bad level falls back to 0.95 rather than panicking.
+	iv := BootstrapCI([]float64{1, 2, 3}, Median, 7, 100, 1)
+	if iv.Lo > iv.Hi {
+		t.Errorf("bad-level CI inverted: %+v", iv)
+	}
+}

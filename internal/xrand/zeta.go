@@ -1,0 +1,94 @@
+package xrand
+
+import "math"
+
+// The ζ(2) distribution from Algorithm 1 / Remark 2 of the paper:
+//
+//	P(K = k) = 6/(π² k²),  k = 1, 2, 3, …
+//
+// UGF samples the delay exponents k and l from this law. The paper notes
+// (Remark 2) that any infinite sequence summing to 1 would do; the 1/k²
+// shape is what makes the indistinguishability lemmas (Lemmas 4 and 5) give
+// a 1/⌈log_τ t⌉ lower bound on the probability of drawing a large delay.
+
+// zetaNorm is 6/π², the normalizing constant of the ζ(2) law.
+const zetaNorm = 6 / (math.Pi * math.Pi)
+
+// Zeta2PMF returns P(K = k) = 6/(π²k²) for k ≥ 1 and 0 otherwise.
+func Zeta2PMF(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	kk := float64(k)
+	return zetaNorm / (kk * kk)
+}
+
+// Zeta2TailLowerBound is the paper's telescoping lower bound
+// (proofs of Lemmas 4 and 5):
+//
+//	P(K ≥ k) ≥ 6/(π² k)  for k ≥ 1.
+//
+// It is exposed so the lemma-validation experiment can compare the
+// empirical tail against the exact bound used in the analysis.
+func Zeta2TailLowerBound(k int) float64 {
+	if k < 1 {
+		return 1
+	}
+	return zetaNorm / float64(k)
+}
+
+// Zeta2 draws from the untruncated ζ(2) law by sequential inversion:
+// walk k upward accumulating mass until the uniform draw is covered.
+//
+// The walk terminates with probability 1 but the law is heavy-tailed
+// (E[K] = ∞), so simulations that turn k into a delay τᵏ should use
+// Zeta2Capped instead; Zeta2 exists for the sampler-validation experiments
+// where the exact law matters.
+func (r *RNG) Zeta2() int {
+	u := r.Float64()
+	acc := 0.0
+	for k := 1; ; k++ {
+		acc += Zeta2PMF(k)
+		if u < acc {
+			return k
+		}
+		// Floating-point accumulation cannot quite reach 1; once the
+		// remaining mass is below the representable slack, return the
+		// current k. P(K > 1e8) < 6.1e-9, so this is unreachable in
+		// practice and exists only to make termination unconditional.
+		if k >= 1<<30 {
+			return k
+		}
+	}
+}
+
+// Zeta2Capped draws K from the ζ(2) law conditioned on K ≤ maxK
+// (that is, the truncated and renormalized law). It panics if maxK < 1.
+//
+// The simulator uses the capped sampler because the drawn exponent k turns
+// into a delay of τᵏ global steps: an unbounded k would make a single
+// outcome astronomically long. Truncation keeps every strategy 2.k.l
+// realizable within a finite horizon while preserving the 1/k² shape on
+// the retained support; the cap and its effect are reported in the outcome
+// so experiments can account for it.
+func (r *RNG) Zeta2Capped(maxK int) int {
+	if maxK < 1 {
+		panic("xrand: Zeta2Capped with maxK < 1")
+	}
+	if maxK == 1 {
+		return 1
+	}
+	total := 0.0
+	for k := 1; k <= maxK; k++ {
+		total += Zeta2PMF(k)
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for k := 1; k < maxK; k++ {
+		acc += Zeta2PMF(k)
+		if u < acc {
+			return k
+		}
+	}
+	return maxK
+}

@@ -1,0 +1,135 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeta2PMFNormalization(t *testing.T) {
+	// The PMF must sum to 1; with a finite sum we check it approaches 1
+	// from below at the 1/k tail rate.
+	sum := 0.0
+	const upTo = 1 << 20
+	for k := 1; k <= upTo; k++ {
+		sum += Zeta2PMF(k)
+	}
+	tail := zetaNorm / float64(upTo) // ~ remaining mass
+	if sum >= 1 {
+		t.Fatalf("partial PMF sum %.12f ≥ 1", sum)
+	}
+	if 1-sum > 2*tail {
+		t.Fatalf("partial PMF sum %.12f leaves %.2e mass, want ≤ %.2e", sum, 1-sum, 2*tail)
+	}
+}
+
+func TestZeta2PMFOutOfSupport(t *testing.T) {
+	if Zeta2PMF(0) != 0 || Zeta2PMF(-3) != 0 {
+		t.Fatal("PMF nonzero outside support")
+	}
+	if got, want := Zeta2PMF(1), 6/(math.Pi*math.Pi); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("PMF(1) = %v, want %v", got, want)
+	}
+}
+
+func TestZeta2EmpiricalMatchesPMF(t *testing.T) {
+	r := New(101)
+	const draws = 200000
+	counts := map[int]int{}
+	for i := 0; i < draws; i++ {
+		counts[r.Zeta2()]++
+	}
+	for k := 1; k <= 5; k++ {
+		want := Zeta2PMF(k) * draws
+		got := float64(counts[k])
+		if math.Abs(got-want) > 6*math.Sqrt(want) {
+			t.Errorf("k=%d drawn %.0f times, want about %.0f", k, got, want)
+		}
+	}
+}
+
+func TestZeta2TailBoundHolds(t *testing.T) {
+	// Empirical P(K ≥ k) must respect the telescoping lower bound 6/(π²k)
+	// used in the proofs of Lemmas 4 and 5 (up to sampling noise).
+	r := New(103)
+	const draws = 200000
+	tail := make([]int, 64)
+	for i := 0; i < draws; i++ {
+		v := r.Zeta2()
+		for k := 1; k < len(tail); k++ {
+			if v >= k {
+				tail[k]++
+			}
+		}
+	}
+	for k := 1; k <= 20; k++ {
+		emp := float64(tail[k]) / draws
+		bound := Zeta2TailLowerBound(k)
+		// Allow 4-sigma slack below the bound.
+		slack := 4 * math.Sqrt(bound*(1-bound)/draws)
+		if emp < bound-slack {
+			t.Errorf("P(K≥%d) = %.5f below bound %.5f", k, emp, bound)
+		}
+	}
+}
+
+func TestZeta2CappedSupport(t *testing.T) {
+	r := New(107)
+	for _, maxK := range []int{1, 2, 3, 8} {
+		for i := 0; i < 2000; i++ {
+			if v := r.Zeta2Capped(maxK); v < 1 || v > maxK {
+				t.Fatalf("Zeta2Capped(%d) = %d out of support", maxK, v)
+			}
+		}
+	}
+}
+
+func TestZeta2CappedRenormalized(t *testing.T) {
+	// With cap 3, P(1):P(2):P(3) must remain 1 : 1/4 : 1/9.
+	r := New(109)
+	const draws = 300000
+	counts := [4]int{}
+	for i := 0; i < draws; i++ {
+		counts[r.Zeta2Capped(3)]++
+	}
+	total := 1.0 + 1.0/4 + 1.0/9
+	for k := 1; k <= 3; k++ {
+		want := (1 / float64(k*k)) / total * draws
+		got := float64(counts[k])
+		if math.Abs(got-want) > 6*math.Sqrt(want) {
+			t.Errorf("capped k=%d drawn %.0f times, want about %.0f", k, got, want)
+		}
+	}
+}
+
+func TestZeta2CappedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Zeta2Capped(0) did not panic")
+		}
+	}()
+	New(1).Zeta2Capped(0)
+}
+
+func TestZeta2TailLowerBoundEdge(t *testing.T) {
+	if Zeta2TailLowerBound(0) != 1 {
+		t.Fatal("tail bound for k<1 must be the trivial bound 1")
+	}
+}
+
+func BenchmarkZeta2(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Zeta2()
+	}
+	_ = sink
+}
+
+func BenchmarkZeta2Capped(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Zeta2Capped(8)
+	}
+	_ = sink
+}

@@ -1,0 +1,93 @@
+package ugf_test
+
+import (
+	"testing"
+
+	"github.com/ugf-sim/ugf"
+)
+
+// TestFullMatrix runs every registered protocol against every registered
+// adversary at a small size: the whole public surface must terminate
+// cleanly in every combination.
+func TestFullMatrix(t *testing.T) {
+	for _, protoName := range ugf.ProtocolNames() {
+		proto, _ := ugf.ProtocolByName(protoName)
+		for _, advName := range ugf.AdversaryNames() {
+			adv, _ := ugf.AdversaryByName(advName)
+			name := protoName + "/" + advName
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				for seed := uint64(0); seed < 3; seed++ {
+					o, err := ugf.Run(ugf.Config{
+						N: 24, F: 8,
+						Protocol:  proto,
+						Adversary: adv,
+						Seed:      seed,
+						MaxEvents: 20_000_000,
+					})
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					if o.HorizonHit {
+						t.Errorf("seed %d: did not quiesce: %+v", seed, o)
+					}
+					if o.Crashed > 8 {
+						t.Errorf("seed %d: crash budget exceeded: %d", seed, o.Crashed)
+					}
+					if o.Messages < 0 || o.Time < 0 {
+						t.Errorf("seed %d: negative complexity: %+v", seed, o)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMatrixGatheringContract: the paper's evaluated protocols must
+// achieve rumor gathering under every delay-only adversary (crash
+// adversaries may legitimately remove the gossips' holders, and Push/
+// Doubling/BudgetCapped make no such promise — see their type comments).
+func TestMatrixGatheringContract(t *testing.T) {
+	safeAdvs := map[string][]string{
+		// One-shot senders tolerate arbitrary delays but not drops: a
+		// dropped message is never retried. Only the EARS family — which
+		// keeps sending until it holds spread evidence — also survives a
+		// budgeted omission attack (the Section VII extension's point).
+		"push-pull":   {"none", "strategy-2.1.1"},
+		"pull":        {"none", "strategy-2.1.1"},
+		"adaptive":    {"none", "strategy-2.1.1"},
+		"round-robin": {"none", "strategy-2.1.1"},
+		"broadcast":   {"none", "strategy-2.1.1"},
+		"ears":        {"none", "strategy-2.1.1", "omission"},
+		"sears":       {"none", "strategy-2.1.1", "omission"},
+	}
+	for protoName, advNames := range safeAdvs {
+		proto, _ := ugf.ProtocolByName(protoName)
+		for _, advName := range advNames {
+			adv, _ := ugf.AdversaryByName(advName)
+			name := protoName + "/" + advName
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				fails := 0
+				for seed := uint64(0); seed < 5; seed++ {
+					o, err := ugf.Run(ugf.Config{
+						N: 21, F: 6,
+						Protocol:  proto,
+						Adversary: adv,
+						Seed:      seed,
+						MaxEvents: 20_000_000,
+					})
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					if !o.Gathered {
+						fails++
+					}
+				}
+				if fails > 0 {
+					t.Errorf("gathering failed on %d/5 delay-only runs", fails)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package ugf is a laptop-scale reproduction of "The Universal Gossip
+// Fighter" (Gorbunova, Guerraoui, Kermarrec, Kucherenko, Pinot —
+// IPPS 2022): a discrete-step simulator for partially synchronous,
+// crash-prone message-passing systems, the all-to-all gossip protocols the
+// paper evaluates, and the paper's contribution — the Universal Gossip
+// Fighter (UGF), an adaptive adversary that slows the dissemination of
+// *any* all-to-all gossip protocol without knowing which protocol it is
+// attacking.
+//
+// This package is the public facade: it re-exports the simulation engine
+// (internal/sim), the protocols (internal/gossip), UGF and its component
+// strategies (internal/core), and the contrast adversaries
+// (internal/adversary) under one import.
+//
+// # Quick start
+//
+//	outcome, err := ugf.Run(ugf.Config{
+//		N:         100,
+//		F:         30,
+//		Protocol:  ugf.PushPull{},
+//		Adversary: ugf.UGF{FixedK: 1, FixedL: 1}, // the paper's setting
+//		Seed:      1,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(outcome) // M(O), T(O), strategy drawn, rumor gathering, …
+//
+// A run is a pure function of (Config, Seed): rerunning the same
+// configuration reproduces the outcome bit for bit, including under
+// parallel stepping (Config.Workers).
+//
+// # Implementing your own protocol or adversary
+//
+// Protocols implement Protocol/Process (see the sim package for the
+// execution-model contract), adversaries implement Adversary/
+// AdversaryInstance. The examples/custom-protocol program walks through a
+// complete protocol implementation.
+//
+// # Reproducing the paper
+//
+// cmd/ugfbench regenerates every figure and table (DESIGN.md §3 maps each
+// to its experiment id); cmd/ugfsim runs and traces single scenarios.
+package ugf
+
+import (
+	"github.com/ugf-sim/ugf/internal/adversary"
+	"github.com/ugf-sim/ugf/internal/core"
+	"github.com/ugf-sim/ugf/internal/gossip"
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+// Simulation engine types (see internal/sim for full documentation).
+type (
+	// Config fully describes one run; Run(Config) is deterministic.
+	Config = sim.Config
+	// Outcome is the measured result of a run: M(O), T(O), T_end, rumor
+	// gathering, crash count, and the adversary's strategy label.
+	Outcome = sim.Outcome
+	// Protocol builds the per-process state machines of a run.
+	Protocol = sim.Protocol
+	// Process is one process's protocol state machine.
+	Process = sim.Process
+	// Env is the identity/constants/randomness a Process is built with.
+	Env = sim.Env
+	// Outbox collects the sends of one local step.
+	Outbox = sim.Outbox
+	// Message is a payload in transit.
+	Message = sim.Message
+	// Payload is protocol-defined message content.
+	Payload = sim.Payload
+	// Adversary builds per-run adversary instances.
+	Adversary = sim.Adversary
+	// AdversaryInstance is the online, adaptive attack state.
+	AdversaryInstance = sim.AdversaryInstance
+	// View is the adversary's read-only window onto the system.
+	View = sim.View
+	// Control is the adversary's crash/delay write access.
+	Control = sim.Control
+	// SendRecord is the adversary-visible record of one send.
+	SendRecord = sim.SendRecord
+	// ProcID identifies a process (and the gossip it originated).
+	ProcID = sim.ProcID
+	// Step counts global time steps.
+	Step = sim.Step
+	// TraceSink receives engine events.
+	TraceSink = sim.TraceSink
+	// TraceEvent is one observable engine event.
+	TraceEvent = sim.TraceEvent
+	// Recorder is an in-memory TraceSink.
+	Recorder = sim.Recorder
+	// Snapshot is a point on the dissemination curve (Config.Sample).
+	Snapshot = sim.Snapshot
+)
+
+// The all-to-all gossip protocols of the paper's evaluation plus the
+// baselines and extensions (see internal/gossip).
+type (
+	// PushPull is the pull-request/push protocol of Section V-A2(a).
+	PushPull = gossip.PushPull
+	// Push is the classic push-only protocol of Karp et al. [19].
+	Push = gossip.Push
+	// Pull is the classic pull-only protocol of Karp et al. [19].
+	Pull = gossip.Pull
+	// EARS is Epidemic Asynchronous Rumor Spreading [14].
+	EARS = gossip.EARS
+	// SEARS is Spamming EARS [14]: constant time, quadratic messages.
+	SEARS = gossip.SEARS
+	// RoundRobin is the deliberately inefficient protocol of Example 1.
+	RoundRobin = gossip.RoundRobin
+	// Broadcast is the trivial one-round, N² message protocol.
+	Broadcast = gossip.Broadcast
+	// Doubling is deterministic recursive-doubling dissemination:
+	// N·⌈log₂N⌉ messages, ⌈log₂N⌉ rounds, zero crash tolerance.
+	Doubling = gossip.Doubling
+	// BudgetCapped is the N²/α-message protocol family of the Theorem 1
+	// trade-off experiment.
+	BudgetCapped = gossip.BudgetCapped
+	// Adaptive is a Push-Pull variant that tries to adapt to the
+	// adversary — the ablation target for UGF's randomization.
+	Adaptive = gossip.Adaptive
+)
+
+// The adversaries.
+type (
+	// UGF is the Universal Gossip Fighter, Algorithm 1 — the paper's
+	// contribution. The zero value is the paper's experimental setting
+	// except for exponents, which it samples; set FixedK/FixedL to 1 for
+	// the exact Section V-A3 configuration.
+	UGF = core.UGF
+	// Strategy1 always crashes the controlled set C.
+	Strategy1 = core.Strategy1
+	// Strategy2K0 isolates one process of C and crashes its receivers.
+	Strategy2K0 = core.Strategy2K0
+	// Strategy2KL delays C's local steps (τᵏ) and deliveries (τᵏ⁺ˡ).
+	Strategy2KL = core.Strategy2KL
+	// Oblivious pre-commits its crashes — the weak adversary of [14].
+	Oblivious = adversary.Oblivious
+	// Omission drops C's messages instead of delaying them (Sec. VII).
+	Omission = adversary.Omission
+)
+
+// Run executes one simulation to quiescence (or cutoff) and returns its
+// Outcome. It is sim.Run re-exported.
+func Run(cfg Config) (Outcome, error) { return sim.Run(cfg) }
+
+// NewOutbox returns a standalone Outbox for driving Process
+// implementations in tests.
+func NewOutbox(from ProcID, n int) Outbox { return sim.NewOutbox(from, n) }
+
+// ProtocolByName looks a protocol up by its registry name ("push-pull",
+// "push", "pull", "ears", "sears", "round-robin", "broadcast", "doubling",
+// "adaptive", "budget-capped"), configured with the paper's experimental
+// parameters.
+func ProtocolByName(name string) (Protocol, bool) { return gossip.ByName(name) }
+
+// ProtocolNames lists the registered protocol names.
+func ProtocolNames() []string { return gossip.Names() }
+
+// AdversaryByName looks an adversary up by name: "none" (nil), "ugf"
+// (the paper's fixed k = l = 1 setting), "ugf-sampled" (ζ(2)-sampled
+// exponents), "strategy-1", "strategy-2.1.0", "strategy-2.1.1",
+// "oblivious", or "omission".
+func AdversaryByName(name string) (Adversary, bool) {
+	switch name {
+	case "none":
+		return nil, true
+	case "ugf":
+		return UGF{FixedK: 1, FixedL: 1}, true
+	case "ugf-sampled":
+		return UGF{}, true
+	case "strategy-1":
+		return Strategy1{}, true
+	case "strategy-2.1.0":
+		return Strategy2K0{}, true
+	case "strategy-2.1.1":
+		return Strategy2KL{}, true
+	case "oblivious":
+		return Oblivious{}, true
+	case "omission":
+		return Omission{}, true
+	default:
+		return nil, false
+	}
+}
+
+// AdversaryNames lists the names AdversaryByName accepts.
+func AdversaryNames() []string {
+	return []string{
+		"none", "ugf", "ugf-sampled",
+		"strategy-1", "strategy-2.1.0", "strategy-2.1.1",
+		"oblivious", "omission",
+	}
+}
