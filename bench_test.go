@@ -108,6 +108,7 @@ func BenchmarkAblationOnline(b *testing.B) {
 func BenchmarkEngineParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(map[int]string{1: "serial", 2: "workers-2", 4: "workers-4"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, err := ugf.Run(ugf.Config{
 					N: 300, F: 0, Protocol: ugf.SEARS{}, Seed: uint64(i + 1),
@@ -121,12 +122,36 @@ func BenchmarkEngineParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkStrategy2KLDelayHeavy is the end-to-end face of the engine's
+// skipped-step scheduling: Strategy 2.k.l rewrites the controlled set's
+// local-step times to τᵏ and delivery times to τᵏ⁺ˡ (τ = F), so the run
+// spans a huge global-step range in which almost every step is inert.
+// Engine scheduling, not protocol work, dominates. The in-package
+// counterpart with scripted delays is sim.BenchmarkEngineDelayHeavy.
+func BenchmarkStrategy2KLDelayHeavy(b *testing.B) {
+	for _, n := range []int{200, 500} {
+		b.Run(map[int]string{200: "N=200", 500: "N=500"}[n], func(b *testing.B) {
+			b.ReportAllocs()
+			f := n / 3
+			for i := 0; i < b.N; i++ {
+				if _, err := ugf.Run(ugf.Config{
+					N: n, F: f, Protocol: ugf.EARS{}, Adversary: ugf.Strategy2KL{K: 1, L: 1},
+					Seed: uint64(i + 1),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Baseline single-run costs per protocol.
 func BenchmarkProtocolRun(b *testing.B) {
 	protos := []ugf.Protocol{ugf.PushPull{}, ugf.EARS{}, ugf.SEARS{}, ugf.RoundRobin{}, ugf.Broadcast{}}
 	for _, proto := range protos {
 		proto := proto
 		b.Run(proto.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := ugf.Run(ugf.Config{N: 200, F: 60, Protocol: proto, Seed: uint64(i + 1)}); err != nil {
 					b.Fatal(err)

@@ -17,6 +17,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,11 +42,39 @@ func run(args []string, out io.Writer) error {
 		summary  = fs.String("summary", "", "write a combined claims-status Markdown table to this file")
 		seed     = fs.Uint64("seed", 0, "base seed (0: default 2022)")
 		workers  = fs.Int("workers", 0, "parallel runs (0: GOMAXPROCS)")
-		list     = fs.Bool("list", false, "list experiments and exit")
-		progress = fs.Bool("progress", true, "print run progress")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		progress   = fs.Bool("progress", true, "print run progress")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ugfbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date live-object statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ugfbench: memprofile:", err)
+			}
+		}()
 	}
 
 	if *list {

@@ -94,6 +94,25 @@ func TestSplitVerdict(t *testing.T) {
 	}
 }
 
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if _, err := runCLI(t, "-exp", "example1", "-progress=false", "-cpuprofile", cpu, "-memprofile", mem); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
 func TestErrors(t *testing.T) {
 	cases := [][]string{
 		{"-exp", "bogus"},

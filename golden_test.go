@@ -1,0 +1,188 @@
+package ugf_test
+
+// Golden-outcome regression tests: a pinned (Config, seed) → outcome table
+// for a small (protocol × adversary × N) matrix. A run is specified to be a
+// pure function of its Config, so these exact tuples must survive any
+// engine rewrite — scheduler changes, delivery-queue changes, parallelism
+// changes. If a change to the engine alters any row, it changed simulation
+// semantics, not just performance, and must be treated as a bug (or as a
+// deliberate, documented semantics change that regenerates the table).
+//
+// Regenerate with:
+//
+//	UGF_GOLDEN_PRINT=1 go test -run TestGoldenPrint -v .
+//
+// and paste the printed rows over goldenRows.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/ugf-sim/ugf"
+)
+
+type goldenCase struct {
+	proto string
+	adv   string
+	n, f  int
+}
+
+// goldenMatrix spans every protocol family and adversary family of the
+// paper's evaluation at two system sizes. Seeds are derived from the case
+// index, so inserting cases in the middle invalidates later rows —
+// append only.
+func goldenMatrix() []goldenCase {
+	var cases []goldenCase
+	for _, size := range []struct{ n, f int }{{16, 4}, {48, 12}} {
+		for _, proto := range []string{"push-pull", "ears", "sears", "round-robin", "broadcast"} {
+			for _, adv := range []string{"none", "ugf", "strategy-1", "strategy-2.1.0", "strategy-2.1.1", "oblivious"} {
+				cases = append(cases, goldenCase{proto: proto, adv: adv, n: size.n, f: size.f})
+			}
+		}
+	}
+	return cases
+}
+
+func goldenConfig(t testing.TB, c goldenCase, idx int, workers int) ugf.Config {
+	t.Helper()
+	proto, ok := ugf.ProtocolByName(c.proto)
+	if !ok {
+		t.Fatalf("unknown protocol %q", c.proto)
+	}
+	adv, ok := ugf.AdversaryByName(c.adv)
+	if !ok {
+		t.Fatalf("unknown adversary %q", c.adv)
+	}
+	return ugf.Config{
+		N: c.n, F: c.f, Protocol: proto, Adversary: adv,
+		Seed:    uint64(1000 + idx),
+		Workers: workers,
+	}
+}
+
+// goldenRow is the pinned outcome signature of one case.
+type goldenRow struct {
+	tEnd       ugf.Step
+	quiescence ugf.Step
+	messages   int64
+	crashed    int
+	gathered   bool
+	strategy   string
+}
+
+func (r goldenRow) String() string {
+	return fmt.Sprintf("{%d, %d, %d, %d, %v, %q}", r.tEnd, r.quiescence, r.messages, r.crashed, r.gathered, r.strategy)
+}
+
+func rowOf(o ugf.Outcome) goldenRow {
+	return goldenRow{
+		tEnd:       o.TEnd,
+		quiescence: o.Quiescence,
+		messages:   o.Messages,
+		crashed:    o.Crashed,
+		gathered:   o.Gathered,
+		strategy:   o.Strategy,
+	}
+}
+
+func TestGoldenOutcomes(t *testing.T) {
+	cases := goldenMatrix()
+	if len(cases) != len(goldenRows) {
+		t.Fatalf("matrix has %d cases but table has %d rows — regenerate with UGF_GOLDEN_PRINT=1", len(cases), len(goldenRows))
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			for i, c := range cases {
+				o, err := ugf.Run(goldenConfig(t, c, i, workers))
+				if err != nil {
+					t.Fatalf("case %d (%s/%s N=%d): %v", i, c.proto, c.adv, c.n, err)
+				}
+				if got := rowOf(o); got != goldenRows[i] {
+					t.Errorf("case %d (%s/%s N=%d F=%d seed=%d):\n got  %v\n want %v",
+						i, c.proto, c.adv, c.n, c.f, 1000+i, got, goldenRows[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenPrint regenerates the table; see the file comment.
+func TestGoldenPrint(t *testing.T) {
+	if os.Getenv("UGF_GOLDEN_PRINT") == "" {
+		t.Skip("set UGF_GOLDEN_PRINT=1 to regenerate the golden table")
+	}
+	for i, c := range goldenMatrix() {
+		o, err := ugf.Run(goldenConfig(t, c, i, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("\t%v, // %d: %s/%s N=%d\n", rowOf(o), i, c.proto, c.adv, c.n)
+	}
+}
+
+// goldenRows holds {TEnd, Quiescence, Messages, Crashed, Gathered,
+// Strategy} per case, in goldenMatrix order.
+var goldenRows = []goldenRow{
+	{8, 9, 228, 0, true, ""},            // 0: push-pull/none N=16
+	{8, 9, 223, 4, true, "2.1.0"},       // 1: push-pull/ugf N=16
+	{7, 8, 215, 2, true, "1"},           // 2: push-pull/strategy-1 N=16
+	{8, 9, 210, 4, true, "2.1.0"},       // 3: push-pull/strategy-2.1.0 N=16
+	{24, 40, 261, 0, true, "2.1.1"},     // 4: push-pull/strategy-2.1.1 N=16
+	{6, 7, 204, 2, true, ""},            // 5: push-pull/oblivious N=16
+	{15, 16, 217, 0, true, ""},          // 6: ears/none N=16
+	{21, 22, 257, 2, true, "1"},         // 7: ears/ugf N=16
+	{19, 20, 240, 2, true, "1"},         // 8: ears/strategy-1 N=16
+	{52, 56, 415, 4, true, "2.1.0"},     // 9: ears/strategy-2.1.0 N=16
+	{64, 72, 552, 0, true, "2.1.1"},     // 10: ears/strategy-2.1.1 N=16
+	{21, 24, 267, 3, true, ""},          // 11: ears/oblivious N=16
+	{5, 6, 960, 0, true, ""},            // 12: sears/none N=16
+	{20, 24, 1584, 4, true, "2.1.0"},    // 13: sears/ugf N=16
+	{8, 9, 1332, 2, true, "1"},          // 14: sears/strategy-1 N=16
+	{20, 24, 1584, 4, true, "2.1.0"},    // 15: sears/strategy-2.1.0 N=16
+	{48, 64, 2870, 0, true, "2.1.1"},    // 16: sears/strategy-2.1.1 N=16
+	{5, 6, 951, 0, true, ""},            // 17: sears/oblivious N=16
+	{15, 16, 240, 0, true, ""},          // 18: round-robin/none N=16
+	{60, 61, 204, 4, true, "2.1.0"},     // 19: round-robin/ugf N=16
+	{15, 16, 210, 2, true, "1"},         // 20: round-robin/strategy-1 N=16
+	{60, 61, 204, 4, true, "2.1.0"},     // 21: round-robin/strategy-2.1.0 N=16
+	{60, 76, 240, 0, true, "2.1.1"},     // 22: round-robin/strategy-2.1.1 N=16
+	{15, 16, 223, 2, true, ""},          // 23: round-robin/oblivious N=16
+	{1, 2, 240, 0, true, ""},            // 24: broadcast/none N=16
+	{4, 20, 240, 0, true, "2.1.1"},      // 25: broadcast/ugf N=16
+	{1, 2, 210, 2, true, "1"},           // 26: broadcast/strategy-1 N=16
+	{4, 5, 225, 4, true, "2.1.0"},       // 27: broadcast/strategy-2.1.0 N=16
+	{4, 20, 240, 0, true, "2.1.1"},      // 28: broadcast/strategy-2.1.1 N=16
+	{1, 2, 240, 1, true, ""},            // 29: broadcast/oblivious N=16
+	{9, 10, 894, 0, true, ""},           // 30: push-pull/none N=48
+	{60, 60, 1203, 12, true, "2.1.0"},   // 31: push-pull/ugf N=48
+	{13, 13, 1113, 6, true, "1"},        // 32: push-pull/strategy-1 N=48
+	{60, 60, 1201, 12, true, "2.1.0"},   // 33: push-pull/strategy-2.1.0 N=48
+	{204, 348, 1491, 0, true, "2.1.1"},  // 34: push-pull/strategy-2.1.1 N=48
+	{9, 10, 914, 1, true, ""},           // 35: push-pull/oblivious N=48
+	{21, 22, 965, 0, true, ""},          // 36: ears/none N=48
+	{204, 216, 1734, 12, true, "2.1.0"}, // 37: ears/ugf N=48
+	{31, 32, 1114, 6, true, "1"},        // 38: ears/strategy-1 N=48
+	{204, 216, 1947, 12, true, "2.1.0"}, // 39: ears/strategy-2.1.0 N=48
+	{528, 672, 3111, 0, true, "2.1.1"},  // 40: ears/strategy-2.1.1 N=48
+	{30, 31, 1169, 4, true, ""},         // 41: ears/oblivious N=48
+	{5, 6, 6480, 0, true, ""},           // 42: sears/none N=48
+	{456, 600, 39110, 0, true, "2.1.1"}, // 43: sears/ugf N=48
+	{10, 11, 11340, 6, true, "1"},       // 44: sears/strategy-1 N=48
+	{84, 96, 19494, 12, true, "2.1.0"},  // 45: sears/strategy-2.1.0 N=48
+	{456, 600, 39248, 0, true, "2.1.1"}, // 46: sears/strategy-2.1.1 N=48
+	{5, 6, 6480, 0, true, ""},           // 47: sears/oblivious N=48
+	{47, 48, 2256, 0, true, ""},         // 48: round-robin/none N=48
+	{47, 48, 1974, 6, true, "1"},        // 49: round-robin/ugf N=48
+	{47, 48, 1974, 6, true, "1"},        // 50: round-robin/strategy-1 N=48
+	{564, 565, 1963, 12, true, "2.1.0"}, // 51: round-robin/strategy-2.1.0 N=48
+	{564, 708, 2256, 0, true, "2.1.1"},  // 52: round-robin/strategy-2.1.1 N=48
+	{47, 48, 2064, 10, true, ""},        // 53: round-robin/oblivious N=48
+	{1, 2, 2256, 0, true, ""},           // 54: broadcast/none N=48
+	{12, 156, 2256, 0, true, "2.1.1"},   // 55: broadcast/ugf N=48
+	{1, 2, 1974, 6, true, "1"},          // 56: broadcast/strategy-1 N=48
+	{12, 13, 2021, 12, true, "2.1.0"},   // 57: broadcast/strategy-2.1.0 N=48
+	{12, 156, 2256, 0, true, "2.1.1"},   // 58: broadcast/strategy-2.1.1 N=48
+	{1, 2, 2209, 1, true, ""},           // 59: broadcast/oblivious N=48
+}

@@ -60,7 +60,9 @@ func Execute(specs []Spec, workers int, progress func(done, total int)) ([]Resul
 		total += s.Runs
 	}
 
-	jobs := make(chan job)
+	// Buffered so the submit loop below streams jobs without blocking on
+	// worker hand-off; workers drain at their own pace.
+	jobs := make(chan job, total)
 	var (
 		wg       sync.WaitGroup
 		done     atomic.Int64
@@ -121,7 +123,7 @@ func Messages(outs []sim.Outcome) []float64 {
 // FilterStrategy returns the outcomes whose adversary committed to the
 // given strategy label (e.g. "2.1.0").
 func FilterStrategy(outs []sim.Outcome, label string) []sim.Outcome {
-	var sel []sim.Outcome
+	sel := make([]sim.Outcome, 0, len(outs))
 	for _, o := range outs {
 		if o.Strategy == label {
 			sel = append(sel, o)

@@ -108,6 +108,12 @@ func (c Control) SetDelta(p ProcID, v Step) {
 	}
 	e.delta[p] = v
 	e.anchor[p] = e.now
+	if e.sched.scheduledAt(p) != noSchedule {
+		// Schedulable process: its next boundary moved to now + v.
+		// Crashed or sleeping processes stay out of the index; a later
+		// wake-up arrival reads the rewritten anchor/δ.
+		e.sched.scheduleProc(p, e.now+v)
+	}
 	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "delta"})
 }
 

@@ -1,0 +1,57 @@
+package sim
+
+// calendar holds the in-flight messages of a run, bucketed by delivery
+// step. It is the storage half of the event index: the scheduler's heap
+// holds one deliverySlot entry per live bucket, pushed when add creates
+// the bucket.
+//
+// Bucket slices are recycled through a free list: take hands a bucket to
+// the engine, release returns its storage. Once a run has warmed up —
+// its live-bucket count and bucket sizes have peaked — delivery allocates
+// nothing: map cells are reused by Go's runtime after deletion, and the
+// free list supplies pre-grown slices.
+type calendar struct {
+	buckets map[Step][]Message
+	free    [][]Message
+}
+
+func (c *calendar) init() {
+	c.buckets = make(map[Step][]Message)
+}
+
+// add appends m to the bucket at step at, creating it if needed, and
+// reports whether it was created — the caller's cue to push the bucket's
+// deliverySlot entry onto the scheduler heap (exactly once per bucket).
+func (c *calendar) add(at Step, m Message) (created bool) {
+	b, ok := c.buckets[at]
+	if !ok {
+		created = true
+		if n := len(c.free); n > 0 {
+			b = c.free[n-1]
+			c.free[n-1] = nil
+			c.free = c.free[:n-1]
+		}
+	}
+	c.buckets[at] = append(b, m)
+	return created
+}
+
+// take removes and returns the bucket at step at, or nil. The caller must
+// hand the slice back through release when done with it.
+func (c *calendar) take(at Step) []Message {
+	b, ok := c.buckets[at]
+	if !ok {
+		return nil
+	}
+	delete(c.buckets, at)
+	return b
+}
+
+// release recycles a bucket obtained from take. Entries are zeroed so the
+// free list does not pin delivered payloads past their run.
+func (c *calendar) release(b []Message) {
+	for i := range b {
+		b[i] = Message{}
+	}
+	c.free = append(c.free, b[:0])
+}

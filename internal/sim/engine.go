@@ -3,7 +3,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 
 	"github.com/ugf-sim/ugf/internal/xrand"
@@ -119,8 +118,8 @@ type engine struct {
 
 	pending      [][]Message // arrived but not yet handed to the process
 	pendingCount []int64
-	inflight     map[Step][]Message
-	heap         stepHeap
+	cal          calendar  // in-flight messages, bucketed by delivery step
+	sched        scheduler // indexed next-event queue (see sched.go)
 	inflightTo   []int64
 
 	sent     []int64
@@ -172,7 +171,6 @@ func newEngine(cfg Config) (*engine, error) {
 		anchor:       make([]Step, n),
 		pending:      make([][]Message, n),
 		pendingCount: make([]int64, n),
-		inflight:     make(map[Step][]Message),
 		inflightTo:   make([]int64, n),
 		sent:         make([]int64, n),
 		lastSend:     make([]Step, n),
@@ -186,11 +184,14 @@ func newEngine(cfg Config) (*engine, error) {
 	if e.maxEvents == 0 {
 		e.maxEvents = DefaultMaxEvents
 	}
+	e.cal.init()
+	e.sched.init(n)
 	envs := make([]Env, n)
 	for p := 0; p < n; p++ {
 		e.awake[p] = true
 		e.delta[p] = 1
 		e.delay[p] = 1
+		e.sched.scheduleProc(ProcID(p), 1) // first boundary: anchor 0 + δ 1
 		envs[p] = Env{
 			ID:  ProcID(p),
 			N:   n,
@@ -259,24 +260,11 @@ func (e *engine) quiescent() bool {
 // nextEventTime returns the earliest future global step at which anything
 // can happen: a message arrival, or a local step of a process that is
 // awake or has undelivered mail. Steps in between are provably inert and
-// are skipped, which is what makes delays of τᵏ⁺ˡ steps affordable.
+// are skipped, which is what makes delays of τᵏ⁺ˡ steps affordable. The
+// lookup is O(log N) against the scheduler's event index; no per-process
+// scan happens here.
 func (e *engine) nextEventTime() (Step, bool) {
-	t := Step(math.MaxInt64)
-	ok := false
-	if len(e.heap) > 0 {
-		t = e.heap[0]
-		ok = true
-	}
-	for p := 0; p < e.n; p++ {
-		if e.crashed[p] || (!e.awake[p] && e.pendingCount[p] == 0) {
-			continue
-		}
-		if b := e.nextBoundary(ProcID(p)); b < t {
-			t = b
-			ok = true
-		}
-	}
-	return t, ok
+	return e.sched.next()
 }
 
 // nextBoundary returns the earliest local-step boundary of p that is
@@ -297,14 +285,20 @@ func (e *engine) boundaryAt(p ProcID, t Step) bool {
 	return t > a && (t-a)%e.delta[p] == 0
 }
 
-func (e *engine) deliver(t Step) {
-	bucket, ok := e.inflight[t]
-	if !ok {
-		return
+// boundaryOnOrAfter returns p's earliest local-step boundary ≥ t, where t
+// is the current step. Used when a mailbox arrival makes a sleeping
+// process schedulable: its boundary may be this very step.
+func (e *engine) boundaryOnOrAfter(p ProcID, t Step) Step {
+	if e.boundaryAt(p, t) {
+		return t
 	}
-	delete(e.inflight, t)
-	for len(e.heap) > 0 && e.heap[0] <= t {
-		e.heap.pop()
+	return e.nextBoundary(p)
+}
+
+func (e *engine) deliver(t Step) {
+	bucket := e.cal.take(t)
+	if bucket == nil {
+		return
 	}
 	for _, m := range bucket {
 		if e.crashed[m.To] {
@@ -316,22 +310,19 @@ func (e *engine) deliver(t Step) {
 		e.totalPending++
 		e.inflightTo[m.To]--
 		e.inflightToCorrect--
+		if e.sched.scheduledAt(m.To) == noSchedule {
+			// Mail woke a sleeping process: index its next boundary.
+			e.sched.scheduleProc(m.To, e.boundaryOnOrAfter(m.To, t))
+		}
 		if e.cfg.Trace != nil {
 			e.trace(TraceEvent{Kind: TraceArrive, Step: t, Proc: m.To, Other: m.From, Payload: m.Payload})
 		}
 	}
+	e.cal.release(bucket)
 }
 
 func (e *engine) localSteps(t Step) {
-	due := e.dueBuf[:0]
-	for p := 0; p < e.n; p++ {
-		if e.crashed[p] || (!e.awake[p] && e.pendingCount[p] == 0) {
-			continue
-		}
-		if e.boundaryAt(ProcID(p), t) {
-			due = append(due, ProcID(p))
-		}
-	}
+	due := e.sched.collectDue(t, e.dueBuf[:0])
 	e.dueBuf = due
 	if len(due) == 0 {
 		return
@@ -378,20 +369,22 @@ func (e *engine) commitOne(t Step, p ProcID) {
 		e.lastSend[p] = t
 		e.eventCount++
 		deliverAt := t + e.delay[p]
-		e.sendLog = append(e.sendLog, SendRecord{From: p, To: d.to, SentAt: t, DeliverAt: deliverAt})
+		if e.adv != nil {
+			// Only an adversary reads the send log; without one, appending
+			// would grow an O(M) slice nobody drains.
+			e.sendLog = append(e.sendLog, SendRecord{From: p, To: d.to, SentAt: t, DeliverAt: deliverAt})
+		}
 		if e.cfg.Trace != nil {
 			e.trace(TraceEvent{Kind: TraceSend, Step: t, Proc: p, Other: d.to, Payload: d.payload})
 		}
 		if e.crashed[d.to] || e.omitted[p] {
 			continue // counted in M(O), but undeliverable
 		}
-		bucket, ok := e.inflight[deliverAt]
-		if !ok {
-			e.heap.push(deliverAt)
-		}
-		e.inflight[deliverAt] = append(bucket, Message{
+		if e.cal.add(deliverAt, Message{
 			From: p, To: d.to, SentAt: t, DeliverAt: deliverAt, Payload: d.payload,
-		})
+		}) {
+			e.sched.scheduleDelivery(deliverAt)
+		}
 		e.inflightTo[d.to]++
 		e.inflightToCorrect++
 	}
@@ -415,6 +408,14 @@ func (e *engine) commitOne(t Step, p ProcID) {
 		if e.cfg.Trace != nil {
 			e.trace(TraceEvent{Kind: TraceWake, Step: t, Proc: p, Other: -1})
 		}
+	}
+
+	// Reindex: the mailbox is empty now, so p is schedulable iff awake.
+	// collectDue cleared p's key when it put p in the due set.
+	if e.awake[p] {
+		e.sched.scheduleProc(p, t+e.delta[p])
+	} else {
+		e.sched.unscheduleProc(p)
 	}
 }
 
@@ -466,6 +467,7 @@ func (e *engine) crashProcess(p ProcID) {
 	e.pending[p] = nil
 	e.inflightToCorrect -= e.inflightTo[p]
 	e.inflightTo[p] = 0
+	e.sched.unscheduleProc(p)
 	e.trace(TraceEvent{Kind: TraceCrash, Step: e.now, Proc: p, Other: -1})
 }
 
@@ -564,48 +566,4 @@ func (e *engine) gathered() bool {
 		}
 	}
 	return true
-}
-
-// stepHeap is a binary min-heap of delivery-bucket keys. Each key is pushed
-// once, when its bucket is created.
-type stepHeap []Step
-
-func (h *stepHeap) push(v Step) {
-	*h = append(*h, v)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if s[parent] <= s[i] {
-			break
-		}
-		s[parent], s[i] = s[i], s[parent]
-		i = parent
-	}
-}
-
-func (h *stepHeap) pop() Step {
-	s := *h
-	top := s[0]
-	last := len(s) - 1
-	s[0] = s[last]
-	s = s[:last]
-	*h = s
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(s) && s[l] < s[smallest] {
-			smallest = l
-		}
-		if r < len(s) && s[r] < s[smallest] {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		s[i], s[smallest] = s[smallest], s[i]
-		i = smallest
-	}
-	return top
 }

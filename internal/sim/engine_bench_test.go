@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ---- bench protocols -------------------------------------------------------
+
+// benchPayload is pre-converted to the interface type so sends do not
+// allocate: the benchmarks measure engine scheduling and delivery, and a
+// per-send interface conversion would drown that signal in GC noise.
+var benchPayload Payload = testPayload{kind: "bench"}
+
+// tokenRingProto is the scheduler's worst case before the indexed event
+// queue: exactly one process is active per global step (the token holder),
+// while the other N-1 sleep. An engine that scans all N processes per step
+// to find the next event pays O(N) per hop — O(N²) per lap — where the
+// indexed scheduler pays O(log N) per hop.
+type tokenRingProto struct {
+	// laps is how many times the token circles the ring.
+	laps int
+}
+
+func (tokenRingProto) Name() string { return "token-ring" }
+
+func (tr tokenRingProto) New(envs []Env) []Process {
+	laps := tr.laps
+	if laps < 1 {
+		laps = 1
+	}
+	return BuildEach(envs, func(env Env) Process {
+		return &tokenRingProc{env: env, laps: laps}
+	})
+}
+
+type tokenRingProc struct {
+	env    Env
+	laps   int
+	passed int
+	booted bool
+}
+
+func (p *tokenRingProc) Step(now Step, delivered []Message, out *Outbox) {
+	forward := false
+	if p.env.ID == 0 && !p.booted {
+		p.booted = true
+		forward = true
+	}
+	for range delivered {
+		forward = true
+	}
+	if forward && p.passed < p.laps && p.env.N > 1 {
+		p.passed++
+		out.Send(ProcID((int(p.env.ID)+1)%p.env.N), benchPayload)
+	}
+}
+
+func (p *tokenRingProc) Asleep() bool        { return p.env.ID != 0 || p.booted }
+func (p *tokenRingProc) Knows(g ProcID) bool { return g == p.env.ID }
+
+// staggerProto models the long tail of a gossip run: every process sends a
+// few messages to deterministic pseudo-random targets, but processes fall
+// asleep at staggered times, so late steps have only a handful of active
+// processes among many sleepers. Payload handling is trivial, so the
+// benchmark measures engine scheduling and delivery, not protocol work.
+type staggerProto struct{}
+
+func (staggerProto) Name() string { return "stagger" }
+
+func (staggerProto) New(envs []Env) []Process {
+	return BuildEach(envs, func(env Env) Process {
+		// Process i stays busy for 1 + i%64 local steps: activity thins out
+		// step by step instead of stopping all at once.
+		return &staggerProc{env: env, rounds: 1 + int(env.ID)%64}
+	})
+}
+
+type staggerProc struct {
+	env    Env
+	rounds int
+	done   int
+}
+
+func (p *staggerProc) Step(now Step, delivered []Message, out *Outbox) {
+	if p.done < p.rounds && p.env.N > 1 {
+		p.done++
+		out.Send(ProcID(p.env.RNG.IntnExcept(p.env.N, int(p.env.ID))), benchPayload)
+	}
+}
+
+func (p *staggerProc) Asleep() bool        { return p.done >= p.rounds }
+func (p *staggerProc) Knows(g ProcID) bool { return g == p.env.ID }
+
+// ---- benchmarks ------------------------------------------------------------
+
+// BenchmarkEngineLargeN measures raw engine scheduling cost at sizes far
+// beyond the paper's N = 500, with no adversary. The token-ring workload is
+// pure sparse scheduling; the stagger workload mixes a dense prefix with a
+// sparse tail, like a real gossip dissemination curve.
+func BenchmarkEngineLargeN(b *testing.B) {
+	for _, n := range []int{1000, 5000, 10000} {
+		b.Run(fmt.Sprintf("ring/N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				o, err := Run(Config{N: n, F: 0, Protocol: tokenRingProto{laps: 1}, Seed: uint64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if o.HorizonHit {
+					b.Fatal("ring run hit horizon")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("stagger/N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				o, err := Run(Config{N: n, F: 0, Protocol: staggerProto{}, Seed: uint64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if o.HorizonHit {
+					b.Fatal("stagger run hit horizon")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineDelayHeavy exercises skipped-step scheduling: an adversary
+// rewrites half the processes to huge local-step and delivery times, so the
+// run's global-step range is large but almost every step is inert. The cost
+// of finding the next event dominates; delivery buckets churn constantly.
+func BenchmarkEngineDelayHeavy(b *testing.B) {
+	for _, n := range []int{1000, 5000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			adv := advFunc{name: "delay-half", init: func(v View, c Control) {
+				for p := 0; p < v.N(); p += 2 {
+					c.SetDelta(ProcID(p), 1<<10)
+					c.SetDelay(ProcID(p), 1<<14)
+				}
+			}}
+			for i := 0; i < b.N; i++ {
+				o, err := Run(Config{N: n, F: 1, Protocol: staggerProto{}, Adversary: adv, Seed: uint64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if o.HorizonHit {
+					b.Fatal("delay-heavy run hit horizon")
+				}
+			}
+		})
+	}
+}

@@ -632,21 +632,22 @@ func TestMessageAccountingIdentity(t *testing.T) {
 	}
 }
 
-func TestStepHeapOrdering(t *testing.T) {
+func TestSchedulerHeapOrdering(t *testing.T) {
 	prop := func(vals []int64) bool {
-		var h stepHeap
+		var s scheduler
+		s.init(0)
 		for _, v := range vals {
-			h.push(Step(v))
+			s.scheduleDelivery(Step(v))
 		}
-		prev := Step(math.MinInt64)
+		prev := schedEvent{at: math.MinInt64, mark: math.MinInt32}
 		for range vals {
-			v := h.pop()
-			if v < prev {
+			ev := s.pop()
+			if ev.less(prev) {
 				return false
 			}
-			prev = v
+			prev = ev
 		}
-		return len(h) == 0
+		return len(s.heap) == 0
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)

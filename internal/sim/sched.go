@@ -1,0 +1,263 @@
+package sim
+
+import "slices"
+
+// Indexed event scheduler.
+//
+// The engine advances a run event by event: the next global step at which
+// anything can happen is the minimum over (a) the earliest in-flight
+// delivery and (b) the earliest local-step boundary of any schedulable
+// process — one that is neither crashed nor asleep with an empty mailbox.
+// The scheduler maintains that minimum incrementally instead of rescanning
+// all N processes per step.
+//
+// The structure is a two-level calendar: a binary min-heap holds one entry
+// per *distinct* event time — a boundary-bucket marker, a delivery-bucket
+// marker, or both — and each boundary bucket lists the processes scheduled
+// at that time. Dense steps (thousands of processes due at once, the
+// no-adversary regime where every δ_ρ = 1) therefore cost one heap pop
+// plus O(due) bucket appends, while sparse steps (Strategy 2.k.l delaying
+// processes by τᵏ⁺ˡ) cost O(log #times). Due sets come out sorted in
+// ascending process order — the deterministic commit order the engine's
+// parallel mode requires, and what keeps this rewrite outcome-preserving
+// bit for bit against the scanning engine (see the golden-outcome tests).
+//
+// Rescheduling never edits buckets in place. Each process carries a single
+// authoritative key, key[p] — the boundary it is currently scheduled at, or
+// noSchedule — and (re)scheduling appends a fresh bucket entry; an entry
+// whose time no longer matches its process's key is stale and is dropped at
+// collection. Each bucket counts its live entries so that a fully stale
+// bucket is discarded without ever surfacing as a phantom event time (an
+// adversary must not observe a step at which nothing can happen). The
+// invariant between engine events:
+//
+//	key[p] != noSchedule  ⟺  p is schedulable
+//	                        (¬crashed[p] ∧ (awake[p] ∨ pendingCount[p] > 0))
+//
+// and for scheduled p, key[p] is p's earliest boundary after the current
+// step. The engine maintains it at every transition: local-step commits,
+// δ rewrites, crashes, sleep/wake, and mailbox arrivals. Bucket slices are
+// recycled through a free list, so steady-state scheduling allocates
+// nothing.
+
+// Heap-entry tags. boundaryMark sorts before deliveryMark at equal times;
+// the order is irrelevant (both are consumed by the same engine step) but
+// must be fixed for determinism.
+const (
+	boundaryMark int32 = -2 // a boundary bucket of due processes opens
+	deliveryMark int32 = -1 // a delivery bucket of in-flight messages opens
+)
+
+// noSchedule is the key of a process with no scheduled boundary.
+const noSchedule Step = -1
+
+// schedEvent is one heap entry: a bucket marker at step at.
+type schedEvent struct {
+	at   Step
+	mark int32
+}
+
+// less orders entries by (at, mark), ascending.
+func (a schedEvent) less(b schedEvent) bool {
+	return a.at < b.at || (a.at == b.at && a.mark < b.mark)
+}
+
+// boundaryBucket is the set of processes scheduled at one step. procs may
+// hold stale entries (processes rescheduled elsewhere since the append);
+// live counts the current ones.
+type boundaryBucket struct {
+	procs []ProcID
+	live  int
+}
+
+// scheduler is the engine's event index. The zero value is unusable; call
+// init first.
+type scheduler struct {
+	heap    []schedEvent
+	key     []Step
+	buckets map[Step]*boundaryBucket
+	freed   []*boundaryBucket
+
+	// 1-entry bucket cache: commits overwhelmingly reschedule runs of
+	// processes to the same step (now + δ with a shared δ), and the cache
+	// turns those repeated lookups into a comparison.
+	cacheAt Step
+	cache   *boundaryBucket
+}
+
+func (s *scheduler) init(n int) {
+	s.heap = make([]schedEvent, 0, 16)
+	s.key = make([]Step, n)
+	for p := range s.key {
+		s.key[p] = noSchedule
+	}
+	s.buckets = make(map[Step]*boundaryBucket)
+	s.cache = nil
+	s.cacheAt = noSchedule
+}
+
+// scheduleProc (re)schedules p's next local-step boundary at step at,
+// superseding any previous schedule.
+func (s *scheduler) scheduleProc(p ProcID, at Step) {
+	old := s.key[p]
+	if old == at {
+		return // same boundary; the existing bucket entry stands
+	}
+	if old != noSchedule {
+		s.bucketAt(old).live--
+	}
+	s.key[p] = at
+	b := s.bucketAt(at)
+	if b == nil {
+		b = s.newBucket(at)
+		s.push(schedEvent{at: at, mark: boundaryMark})
+	}
+	b.procs = append(b.procs, p)
+	b.live++
+}
+
+// unscheduleProc removes p from the schedule. Its bucket entry becomes
+// stale and is dropped at collection.
+func (s *scheduler) unscheduleProc(p ProcID) {
+	if old := s.key[p]; old != noSchedule {
+		s.bucketAt(old).live--
+		s.key[p] = noSchedule
+	}
+}
+
+// scheduledAt returns p's scheduled boundary, or noSchedule.
+func (s *scheduler) scheduledAt(p ProcID) Step { return s.key[p] }
+
+// scheduleDelivery records that the delivery bucket at step at opens then.
+// Callers push at most once per bucket, and a delivery bucket always holds
+// at least one message, so delivery marks are never stale.
+func (s *scheduler) scheduleDelivery(at Step) {
+	s.push(schedEvent{at: at, mark: deliveryMark})
+}
+
+// next returns the earliest step holding any event. It discards fully
+// stale boundary buckets from the top of the heap — their step would
+// otherwise surface as an event time at which nothing can happen — but
+// observable state is untouched, so callers may treat it as read-only.
+func (s *scheduler) next() (Step, bool) {
+	for len(s.heap) > 0 {
+		top := s.heap[0]
+		if top.mark == boundaryMark {
+			if b := s.bucketAt(top.at); b.live <= 0 {
+				s.pop()
+				s.dropBucket(top.at, b)
+				continue
+			}
+		}
+		return top.at, true
+	}
+	return 0, false
+}
+
+// collectDue pops every event at step t (or, defensively, earlier) and
+// appends the due processes to due in ascending process order, clearing
+// their keys — the commit phase reschedules the ones that stay awake.
+// Delivery marks are popped and discarded; the engine has already drained
+// the message bucket by the time collectDue runs.
+func (s *scheduler) collectDue(t Step, due []ProcID) []ProcID {
+	for len(s.heap) > 0 && s.heap[0].at <= t {
+		ev := s.pop()
+		if ev.mark != boundaryMark {
+			continue
+		}
+		b := s.bucketAt(ev.at)
+		for _, p := range b.procs {
+			if s.key[p] == ev.at {
+				s.key[p] = noSchedule
+				due = append(due, p)
+			}
+		}
+		s.dropBucket(ev.at, b)
+	}
+	// Bucket appends interleave commit batches and mailbox wake-ups, so
+	// the bucket is only near-sorted; the engine needs ascending order.
+	// Commits append in ascending order, so the no-wake-up common case is
+	// already sorted and skips the sort entirely.
+	if !slices.IsSorted(due) {
+		slices.Sort(due)
+	}
+	return due
+}
+
+// bucketAt returns the boundary bucket at step at, or nil.
+func (s *scheduler) bucketAt(at Step) *boundaryBucket {
+	if at == s.cacheAt {
+		return s.cache
+	}
+	b := s.buckets[at]
+	if b != nil {
+		s.cacheAt, s.cache = at, b
+	}
+	return b
+}
+
+// newBucket installs an empty bucket at step at, reusing freed storage.
+func (s *scheduler) newBucket(at Step) *boundaryBucket {
+	var b *boundaryBucket
+	if n := len(s.freed); n > 0 {
+		b = s.freed[n-1]
+		s.freed[n-1] = nil
+		s.freed = s.freed[:n-1]
+	} else {
+		b = &boundaryBucket{}
+	}
+	s.buckets[at] = b
+	s.cacheAt, s.cache = at, b
+	return b
+}
+
+// dropBucket removes the bucket at step at and recycles its storage.
+func (s *scheduler) dropBucket(at Step, b *boundaryBucket) {
+	delete(s.buckets, at)
+	if s.cacheAt == at {
+		s.cacheAt, s.cache = noSchedule, nil
+	}
+	b.procs = b.procs[:0]
+	b.live = 0
+	s.freed = append(s.freed, b)
+}
+
+func (s *scheduler) push(ev schedEvent) {
+	s.heap = append(s.heap, ev)
+	h := s.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(h[parent]) {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func (s *scheduler) pop() schedEvent {
+	h := s.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	s.heap = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && h[l].less(h[smallest]) {
+			smallest = l
+		}
+		if r < len(h) && h[r].less(h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# bench.sh — run the engine benchmarks and record a JSON baseline.
+#
+# Usage:
+#   scripts/bench.sh [out.json] [benchtime]
+#
+# Runs the scheduler-sensitive engine benchmarks (BenchmarkEngineLargeN,
+# BenchmarkEngineDelayHeavy in internal/sim, and the end-to-end benches at
+# the repo root) with allocation reporting, and writes the parsed results
+# as JSON rows to the output file (default BENCH_0.json). Compare runs
+# with `benchstat` or by diffing the JSON.
+set -eu
+
+out="${1:-BENCH_0.json}"
+benchtime="${2:-10x}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+cd "$(dirname "$0")/.."
+
+go test ./internal/sim/ -run '^$' -bench 'BenchmarkEngine(LargeN|DelayHeavy)' \
+	-benchtime "$benchtime" -timeout 1800s | tee "$tmp"
+go test . -run '^$' -bench 'Benchmark(EngineParallel|ProtocolRun|Strategy2KLDelayHeavy)' \
+	-benchtime "$benchtime" -timeout 1800s | tee -a "$tmp"
+
+# Parse `name  iters  N ns/op  N B/op  N allocs/op` lines into JSON rows.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { print "[" }
+/^Benchmark/ {
+	ns = bytes = allocs = "null"
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "B/op") bytes = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"date\": \"%s\"}", $1, $2, ns, bytes, allocs, date
+}
+END { print "\n]" }
+' "$tmp" > "$out"
+
+echo "wrote $out"
