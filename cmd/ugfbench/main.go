@@ -3,52 +3,86 @@
 // It prints text tables, ASCII charts and machine-checked shape notes, and
 // optionally writes CSV and Markdown files per experiment.
 //
+// The harness is fault-tolerant (DESIGN.md §6): a panicking run is
+// isolated and reported instead of crashing the sweep, SIGINT stops the
+// sweep cleanly, and with -out every finished run is journaled so that
+// -resume continues an interrupted sweep without recomputation and
+// reproduces byte-identical outputs.
+//
 // Examples:
 //
 //	ugfbench -list
 //	ugfbench -exp fig3b                      # one panel, quick fidelity
 //	ugfbench -exp all -fidelity medium -out results/
 //	ugfbench -exp fig3e -fidelity full       # the paper's exact setting
+//	ugfbench -exp all -fidelity full -out results/ -resume   # after ^C
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/ugf-sim/ugf/internal/experiments"
+	"github.com/ugf-sim/ugf/internal/runner"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ugfbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ugfbench", flag.ContinueOnError)
 	var (
 		expID = fs.String("exp", "all",
 			"experiment id or \"all\": "+strings.Join(experiments.IDs(), "|"))
-		fidelity = fs.String("fidelity", "quick", "quick|medium|full (full = the paper's 50-run grid)")
-		outDir   = fs.String("out", "", "directory for CSV and Markdown output (optional)")
-		summary  = fs.String("summary", "", "write a combined claims-status Markdown table to this file")
-		seed     = fs.Uint64("seed", 0, "base seed (0: default 2022)")
-		workers  = fs.Int("workers", 0, "parallel runs (0: GOMAXPROCS)")
-		list       = fs.Bool("list", false, "list experiments and exit")
-		progress   = fs.Bool("progress", true, "print run progress")
-		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		fidelity    = fs.String("fidelity", "quick", "quick|medium|full (full = the paper's 50-run grid)")
+		outDir      = fs.String("out", "", "directory for CSV and Markdown output (optional)")
+		summary     = fs.String("summary", "", "write a combined claims-status Markdown table to this file")
+		seed        = fs.Uint64("seed", 0, "base seed (0: default 2022)")
+		workers     = fs.Int("workers", 0, "parallel runs (0: GOMAXPROCS)")
+		list        = fs.Bool("list", false, "list experiments and exit")
+		progress    = fs.Bool("progress", true, "print run progress")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		resume      = fs.Bool("resume", false, "reuse journaled runs from a previous interrupted sweep (requires -out)")
+		maxwall     = fs.Duration("maxwall", 0, "per-run wall-clock watchdog; runs over the limit count as cutoffs (0: none)")
+		cancelAfter = fs.Int("cancelafter", 0, "cancel the sweep after this many completed runs — a deterministic SIGINT for tests (0: never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *outDir == "" {
+		return errors.New("-resume requires -out (the run journal lives in the output directory)")
+	}
+	if *cancelAfter > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		var done atomic.Int64
+		limit := int64(*cancelAfter)
+		cancelHook = func() {
+			if done.Add(1) == limit {
+				cancel()
+			}
+		}
+		defer func() { cancelHook = nil }()
 	}
 
 	if *cpuprofile != "" {
@@ -108,14 +142,40 @@ func run(args []string, out io.Writer) error {
 
 	var reports []*experiments.Report
 	for _, e := range selected {
-		cfg := experiments.Config{Fidelity: fid, Workers: *workers, BaseSeed: *seed}
-		if *progress {
-			cfg.Progress = progressPrinter(e.ID)
+		cfg := experiments.Config{
+			Fidelity: fid, Workers: *workers, BaseSeed: *seed,
+			Context: ctx, MaxWall: *maxwall,
+		}
+		cfg.Progress = progressCallback(e.ID, *progress)
+		var j *runner.Journal
+		if *outDir != "" {
+			var err error
+			j, err = runner.OpenJournal(filepath.Join(*outDir, e.ID+".journal.jsonl"), *resume)
+			if err != nil {
+				return fmt.Errorf("experiment %s: %w", e.ID, err)
+			}
+			cfg.Journal = j
 		}
 		start := time.Now()
 		rep, err := e.Run(cfg)
+		if j != nil {
+			if cerr := j.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		if err != nil {
+			if errors.Is(err, context.Canceled) && j != nil {
+				return fmt.Errorf("experiment %s: interrupted — %d finished run(s) are journaled in %s; rerun with -resume to continue: %w",
+					e.ID, j.Len(), j.Path(), err)
+			}
 			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		if j != nil && j.ErrorCount() == 0 {
+			// A clean sweep no longer needs its journal; one that recorded
+			// deterministic failures keeps it as the forensic record.
+			if err := j.Remove(); err != nil {
+				return fmt.Errorf("experiment %s: %w", e.ID, err)
+			}
 		}
 		if *progress {
 			fmt.Fprint(os.Stderr, "\r\033[K")
@@ -138,26 +198,65 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// writeSummary renders the combined claims-status table: one row per
-// claim verdict found in the reports' notes.
-func writeSummary(path string, reports []*experiments.Report) error {
-	f, err := os.Create(path)
+// cancelHook, when set, is invoked once per completed run; the
+// -cancelafter flag uses it to turn "N runs finished" into a context
+// cancellation, giving tests a deterministic stand-in for SIGINT.
+var cancelHook func()
+
+// progressCallback builds the per-run callback passed to the runner:
+// the optional terminal progress line plus the -cancelafter hook.
+func progressCallback(id string, print bool) func(done, total int) {
+	hook := cancelHook
+	if hook == nil && !print {
+		return nil
+	}
+	return func(done, total int) {
+		if hook != nil {
+			hook()
+		}
+		if print {
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d runs", id, done, total)
+		}
+	}
+}
+
+// atomicWrite streams the file through a temp file in the target
+// directory and renames it into place, so an interrupted or failing
+// ugfbench never leaves a truncated artifact where a good one (from a
+// previous sweep) used to be.
+func atomicWrite(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	fmt.Fprintln(f, "| experiment | claim | status |")
-	fmt.Fprintln(f, "| --- | --- | --- |")
-	for _, rep := range reports {
-		for _, note := range rep.Notes {
-			claim, status, ok := splitVerdict(note)
-			if !ok {
-				continue
-			}
-			fmt.Fprintf(f, "| `%s` | %s | %s |\n", rep.ID, claim, status)
-		}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
 	}
-	return nil
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// writeSummary renders the combined claims-status table: one row per
+// claim verdict found in the reports' notes.
+func writeSummary(path string, reports []*experiments.Report) error {
+	return atomicWrite(path, func(f io.Writer) error {
+		fmt.Fprintln(f, "| experiment | claim | status |")
+		fmt.Fprintln(f, "| --- | --- | --- |")
+		for _, rep := range reports {
+			for _, note := range rep.Notes {
+				claim, status, ok := splitVerdict(note)
+				if !ok {
+					continue
+				}
+				fmt.Fprintf(f, "| `%s` | %s | %s |\n", rep.ID, claim, status)
+			}
+		}
+		return nil
+	})
 }
 
 // splitVerdict extracts (claim, status) from a "… claim …: REPRODUCED"
@@ -175,12 +274,6 @@ func splitVerdict(note string) (claim, status string, ok bool) {
 		}
 	}
 	return "", "", false
-}
-
-func progressPrinter(id string) func(done, total int) {
-	return func(done, total int) {
-		fmt.Fprintf(os.Stderr, "\r%s: %d/%d runs", id, done, total)
-	}
 }
 
 func render(w io.Writer, rep *experiments.Report, elapsed time.Duration) error {
@@ -203,36 +296,27 @@ func render(w io.Writer, rep *experiments.Report, elapsed time.Duration) error {
 }
 
 func writeFiles(dir string, rep *experiments.Report) error {
-	md, err := os.Create(filepath.Join(dir, rep.ID+".md"))
-	if err != nil {
-		return err
-	}
-	defer md.Close()
-	fmt.Fprintf(md, "## %s — %s\n\n*Fidelity: %s.*\n\n**Paper:** %s\n\n", rep.ID, rep.Title, rep.Fidelity, rep.Paper)
 	for i, t := range rep.Tables {
-		if err := t.Markdown(md); err != nil {
-			return err
-		}
-		fmt.Fprintln(md)
 		csvPath := filepath.Join(dir, fmt.Sprintf("%s_%d.csv", rep.ID, i))
-		cf, err := os.Create(csvPath)
-		if err != nil {
-			return err
-		}
-		if err := t.CSV(cf); err != nil {
-			cf.Close()
-			return err
-		}
-		if err := cf.Close(); err != nil {
+		if err := atomicWrite(csvPath, t.CSV); err != nil {
 			return err
 		}
 	}
-	for _, c := range rep.Charts {
-		fmt.Fprintf(md, "```\n%s```\n\n", c.Render())
-	}
-	fmt.Fprintln(md, "**Findings:**")
-	for _, n := range rep.Notes {
-		fmt.Fprintf(md, "- %s\n", n)
-	}
-	return nil
+	return atomicWrite(filepath.Join(dir, rep.ID+".md"), func(md io.Writer) error {
+		fmt.Fprintf(md, "## %s — %s\n\n*Fidelity: %s.*\n\n**Paper:** %s\n\n", rep.ID, rep.Title, rep.Fidelity, rep.Paper)
+		for _, t := range rep.Tables {
+			if err := t.Markdown(md); err != nil {
+				return err
+			}
+			fmt.Fprintln(md)
+		}
+		for _, c := range rep.Charts {
+			fmt.Fprintf(md, "```\n%s```\n\n", c.Render())
+		}
+		fmt.Fprintln(md, "**Findings:**")
+		for _, n := range rep.Notes {
+			fmt.Fprintf(md, "- %s\n", n)
+		}
+		return nil
+	})
 }

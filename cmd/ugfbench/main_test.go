@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +13,7 @@ import (
 func runCLI(t *testing.T, args ...string) (string, error) {
 	t.Helper()
 	var b strings.Builder
-	err := run(args, &b)
+	err := run(context.Background(), args, &b)
 	return b.String(), err
 }
 
@@ -118,10 +121,67 @@ func TestErrors(t *testing.T) {
 		{"-exp", "bogus"},
 		{"-fidelity", "bogus"},
 		{"-not-a-flag"},
+		{"-resume"}, // -resume without -out has no journal to resume from
 	}
 	for _, args := range cases {
 		if _, err := runCLI(t, args...); err == nil {
 			t.Errorf("args %v: no error", args)
+		}
+	}
+}
+
+// TestKillAndResume is the end-to-end fault-tolerance check: a sweep
+// cancelled mid-flight (via -cancelafter, the deterministic stand-in for
+// SIGINT) journals its finished runs, and rerunning with -resume completes
+// the sweep with artifacts byte-identical to an uninterrupted one.
+func TestKillAndResume(t *testing.T) {
+	baseline := t.TempDir()
+	resumed := t.TempDir()
+	exp := "fig3a"
+	common := []string{"-exp", exp, "-progress=false", "-out"}
+
+	if _, err := runCLI(t, append(common, baseline)...); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := runCLI(t, append(append(common, resumed), "-cancelafter", "10")...)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep: err = %v, want context.Canceled", err)
+	}
+	journal := filepath.Join(resumed, exp+".journal.jsonl")
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatalf("no journal after interruption: %v", err)
+	}
+
+	if _, err := runCLI(t, append(append(common, resumed), "-resume")...); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if _, err := os.Stat(journal); !os.IsNotExist(err) {
+		t.Errorf("journal not removed after clean resume (err=%v)", err)
+	}
+
+	for _, name := range []string{exp + "_0.csv", exp + ".md"} {
+		want, err := os.ReadFile(filepath.Join(baseline, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(resumed, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs between uninterrupted and resumed sweeps:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s",
+				name, want, got)
+		}
+	}
+
+	for _, dir := range []string{baseline, resumed} {
+		leftovers, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(leftovers) > 0 {
+			t.Errorf("temp files left behind in %s: %v", dir, leftovers)
 		}
 	}
 }

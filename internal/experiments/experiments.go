@@ -7,8 +7,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/ugf-sim/ugf/internal/plot"
 	"github.com/ugf-sim/ugf/internal/runner"
@@ -68,6 +70,25 @@ type Config struct {
 	BaseSeed uint64
 	// Progress, when non-nil, receives per-run completion updates.
 	Progress func(done, total int)
+	// Context cancels the experiment cooperatively: between runs and, via
+	// the engine's event-boundary polling, inside delay-heavy runs. nil
+	// means context.Background(). On cancellation Run returns the
+	// context's error; with a Journal attached, completed runs are already
+	// recorded and a rerun resumes where the sweep stopped.
+	Context context.Context
+	// Journal, when non-nil, records every finished run and serves
+	// recorded ones without recomputation (ugfbench -resume).
+	Journal *runner.Journal
+	// MaxWall is the per-run wall-clock watchdog (0: none); runs stopped
+	// by it count as cutoffs and never enter complexity statistics.
+	MaxWall time.Duration
+}
+
+func (c Config) context() context.Context {
+	if c.Context == nil {
+		return context.Background()
+	}
+	return c.Context
 }
 
 func (c Config) seed() uint64 {
@@ -179,9 +200,33 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// execute is a convenience wrapper around runner.Execute.
-func execute(cfg Config, specs []runner.Spec) ([]runner.Result, error) {
-	return runner.Execute(specs, cfg.Workers, cfg.Progress)
+// execute runs specs on the parallel runner with the experiment's
+// cancellation, journaling, and watchdog settings, then annotates rep so
+// that failed or retried runs surface in the report instead of vanishing
+// silently — the statistics downstream use the surviving runs (failed
+// slots carry HorizonHit placeholders, which every cutoff-aware summary
+// already skips).
+func execute(rep *Report, cfg Config, specs []runner.Spec) ([]runner.Result, error) {
+	results, err := runner.ExecuteContext(cfg.context(), specs, runner.Options{
+		Workers:  cfg.Workers,
+		Progress: cfg.Progress,
+		Journal:  cfg.Journal,
+		MaxWall:  cfg.MaxWall,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		if n := len(res.Errors); n > 0 {
+			rep.Notef("PARTIAL — series %q: %d/%d runs failed and were excluded (first: %v)",
+				res.Spec.Name, n, res.Spec.Runs, res.Errors[0])
+		}
+		if n := len(res.Flaky); n > 0 {
+			rep.Notef("series %q: %d run(s) recovered by a same-seed retry (environmental failures)",
+				res.Spec.Name, n)
+		}
+	}
+	return results, nil
 }
 
 // medianOf summarizes a metric over non-cutoff outcomes, returning the

@@ -80,7 +80,7 @@ func runFSweep(cfg Config) (*Report, error) {
 			})
 		}
 	}
-	results, err := execute(cfg, specs)
+	results, err := execute(rep, cfg, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +157,7 @@ func runStrategies(cfg Config) (*Report, error) {
 			})
 		}
 	}
-	results, err := execute(cfg, specs)
+	results, err := execute(rep, cfg, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +243,7 @@ func runOblivious(cfg Config) (*Report, error) {
 			})
 		}
 	}
-	results, err := execute(cfg, specs)
+	results, err := execute(rep, cfg, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -329,7 +329,7 @@ func runAdaptation(cfg Config) (*Report, error) {
 			})
 		}
 	}
-	results, err := execute(cfg, specs)
+	results, err := execute(rep, cfg, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -404,13 +404,13 @@ func runOmission(cfg Config) (*Report, error) {
 			})
 		}
 	}
-	results, err := execute(cfg, specs)
+	results, err := execute(rep, cfg, specs)
 	if err != nil {
 		return nil, err
 	}
 	table := &plot.Table{
 		Title:   fmt.Sprintf("delaying vs dropping C's messages (N=%d, F=%d, drop budget F²)", n, f),
-		Columns: []string{"protocol", "adversary", "median T", "median M", "gathered", "cutoff"},
+		Columns: []string{"protocol", "adversary", "median T", "median M", "gathered", "cutoff", "failed"},
 	}
 	idx := 0
 	for _, proto := range threeProtocols() {
@@ -420,7 +420,8 @@ func runOmission(cfg Config) (*Report, error) {
 			mT, _, _ := medianOf(res.Outcomes, runner.Times)
 			mM, _, _ := medianOf(res.Outcomes, runner.Messages)
 			table.AddRow(proto.Name(), a.name, mT, mM,
-				runner.GatheredRate(res.Outcomes), runner.CutoffRate(res.Outcomes))
+				runner.GatheredRate(res.Outcomes), runner.CutoffRate(res.Outcomes),
+				res.Failed())
 		}
 	}
 	rep.Tables = append(rep.Tables, table)

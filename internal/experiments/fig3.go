@@ -121,14 +121,14 @@ func runFig3Panel(cfg Config, panel fig3Panel) (*Report, error) {
 			})
 		}
 	}
-	results, err := execute(cfg, specs)
+	results, err := execute(rep, cfg, specs)
 	if err != nil {
 		return nil, err
 	}
 
 	table := &plot.Table{
 		Title:   rep.Title,
-		Columns: []string{"N", "F", "series", "median", "Q1", "Q3", "gathered", "cutoff"},
+		Columns: []string{"N", "F", "series", "median", "Q1", "Q3", "gathered", "cutoff", "failed"},
 	}
 	curve := map[string][]float64{}
 	xs := make([]float64, 0, len(grid))
@@ -144,7 +144,8 @@ func runFig3Panel(cfg Config, panel fig3Panel) (*Report, error) {
 			med, q1, q3 := medianOf(res.Outcomes, panel.metric.extract)
 			table.AddRow(n, f, s.name, med, q1, q3,
 				plot.FormatFloat(runner.GatheredRate(res.Outcomes)),
-				plot.FormatFloat(runner.CutoffRate(res.Outcomes)))
+				plot.FormatFloat(runner.CutoffRate(res.Outcomes)),
+				res.Failed())
 			curve[s.name] = append(curve[s.name], med)
 		}
 	}

@@ -50,7 +50,7 @@ func runExample1(cfg Config) (*Report, error) {
 			BaseSeed: cfg.seed(),
 		})
 	}
-	results, err := execute(cfg, specs)
+	results, err := execute(rep, cfg, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +191,7 @@ func runTradeoff(cfg Config) (*Report, error) {
 			BaseSeed: cfg.seed(),
 		})
 	}
-	results, err := execute(cfg, specs)
+	results, err := execute(rep, cfg, specs)
 	if err != nil {
 		return nil, err
 	}

@@ -60,7 +60,7 @@ func runTuning(cfg Config) (*Report, error) {
 			})
 		}
 	}
-	results, err := execute(cfg, specs)
+	results, err := execute(rep, cfg, specs)
 	if err != nil {
 		return nil, err
 	}

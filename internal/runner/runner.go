@@ -7,13 +7,23 @@
 // of a batch is therefore identical regardless of worker count or
 // scheduling, and every run can be reproduced in isolation from its
 // recorded seed.
+//
+// The pool is fault-tolerant: a panic inside a protocol or adversary is
+// confined to its run and recorded as a RunError (after a same-seed retry
+// that classifies it as deterministic or environmental), cancellation via
+// context stops batches cooperatively mid-run, and an optional Journal
+// makes interrupted batches resumable without recomputation.
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/ugf-sim/ugf/internal/sim"
 	"github.com/ugf-sim/ugf/internal/xrand"
@@ -33,10 +43,94 @@ type Spec struct {
 	BaseSeed uint64
 }
 
+// RunError records a single run that panicked instead of completing — the
+// blast radius of a faulty protocol or adversary is one run, never the
+// batch. The triple (Spec name, Run, Seed) reproduces the failure in
+// isolation: runner jobs derive the seed deterministically, so
+// sim.Run(spec.Base with Seed) replays the exact execution.
+type RunError struct {
+	// Spec is the name of the series the run belongs to.
+	Spec string
+	// Run is the run index within the spec.
+	Run int
+	// Seed is the derived per-run seed, xrand.Derive(BaseSeed, Run).
+	Seed uint64
+	// Panic is the formatted panic value of the failing attempt.
+	Panic string
+	// Stack is the goroutine stack captured at the point of the panic.
+	Stack string
+	// Deterministic classifies the failure: true when the same-seed retry
+	// panicked again (the fault replays from (Config, Seed) and will recur
+	// on every attempt), false when the retry completed — an environmental
+	// failure whose outcome was recovered.
+	Deterministic bool
+}
+
+func (e *RunError) Error() string {
+	class := "environmental, recovered by same-seed retry"
+	if e.Deterministic {
+		class = "deterministic, reproduced by same-seed retry"
+	}
+	return fmt.Sprintf("runner: spec %q run %d (seed %d) panicked: %v (%s)",
+		e.Spec, e.Run, e.Seed, e.Panic, class)
+}
+
 // Result pairs a Spec with the outcomes of its runs, in run order.
 type Result struct {
 	Spec     Spec
 	Outcomes []sim.Outcome
+	// Errors records the runs that failed deterministically: the run and
+	// its same-seed retry both panicked. The corresponding Outcomes slot
+	// holds a placeholder with HorizonHit set, so every cutoff-aware
+	// statistic already skips it. Sorted by Run.
+	Errors []*RunError
+	// Flaky records runs whose first attempt panicked but whose same-seed
+	// retry completed (environmental failures). Their Outcomes slot holds
+	// the retry's outcome, which entered the statistics normally. Sorted
+	// by Run.
+	Flaky []*RunError
+}
+
+// Failed returns the number of runs that produced no outcome.
+func (r *Result) Failed() int { return len(r.Errors) }
+
+// Kept returns the outcomes of the runs that completed, skipping the
+// placeholder slots of failed runs. When nothing failed it returns
+// Outcomes itself.
+func (r *Result) Kept() []sim.Outcome {
+	if len(r.Errors) == 0 {
+		return r.Outcomes
+	}
+	failed := make(map[int]bool, len(r.Errors))
+	for _, e := range r.Errors {
+		failed[e.Run] = true
+	}
+	kept := make([]sim.Outcome, 0, len(r.Outcomes)-len(r.Errors))
+	for i, o := range r.Outcomes {
+		if !failed[i] {
+			kept = append(kept, o)
+		}
+	}
+	return kept
+}
+
+// Options parameterizes ExecuteContext beyond the spec list.
+type Options struct {
+	// Workers bounds run-level parallelism (≤ 0: GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, is called after each finished run (completed,
+	// failed, or served from the journal) with the number done and the
+	// total. It may be called concurrently from several workers.
+	Progress func(done, total int)
+	// Journal, when non-nil, serves previously recorded runs without
+	// recomputation and records every newly finished run, making the batch
+	// resumable after a crash or SIGINT. Cancelled outcomes are never
+	// journaled — their stopping point depends on wall-clock time.
+	Journal *Journal
+	// MaxWall is the per-run wall-clock watchdog forwarded to
+	// sim.Config.MaxWall (0: none). Runs stopped by the watchdog count as
+	// cutoffs (HorizonHit) and are recomputed on resume.
+	MaxWall time.Duration
 }
 
 // Execute runs every spec's repetitions across workers goroutines
@@ -44,6 +138,28 @@ type Result struct {
 // each completed run with the number done and the total. The first
 // configuration error aborts the batch.
 func Execute(specs []Spec, workers int, progress func(done, total int)) ([]Result, error) {
+	return ExecuteContext(context.Background(), specs, Options{Workers: workers, Progress: progress})
+}
+
+// ExecuteContext is Execute with cancellation, fault isolation, and
+// optional journaling.
+//
+// Fault tolerance semantics:
+//   - A run that panics is retried once with the same seed. If the retry
+//     completes, its outcome is kept and the incident is recorded in
+//     Result.Flaky; if it panics again, the failure is deterministic and
+//     is recorded in Result.Errors while the rest of the batch continues.
+//   - A configuration error (sim.Run returning an error) still aborts the
+//     batch: it means the spec itself is wrong, and every sibling run
+//     would fail identically. Workers short-circuit the remaining queued
+//     jobs instead of draining them at full cost.
+//   - Cancelling ctx stops the batch at the next run boundary and
+//     interrupts in-flight runs at their next engine event boundary.
+//     ExecuteContext then returns the partial results alongside ctx's
+//     error; with a Journal attached, every completed run has already been
+//     recorded, so a rerun resumes where the batch stopped.
+func ExecuteContext(ctx context.Context, specs []Spec, opts Options) ([]Result, error) {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -68,24 +184,83 @@ func Execute(specs []Spec, workers int, progress func(done, total int)) ([]Resul
 		done     atomic.Int64
 		firstErr error
 		errOnce  sync.Once
+		stopped  atomic.Bool // batch failed or cancelled: drain, don't run
+		faultMu  sync.Mutex  // guards Errors/Flaky appends across workers
 	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stopped.Store(true)
+	}
+	finish := func() {
+		if opts.Progress != nil {
+			opts.Progress(int(done.Add(1)), total)
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if stopped.Load() || ctx.Err() != nil {
+					continue // short-circuit: drain the queue without running
+				}
 				spec := specs[j.spec]
 				cfg := spec.Base
 				cfg.Seed = xrand.Derive(spec.BaseSeed, uint64(j.run))
-				o, err := sim.Run(cfg)
+				if opts.Journal != nil {
+					if o, re, ok := opts.Journal.Lookup(spec, j.run); ok {
+						if re != nil {
+							faultMu.Lock()
+							results[j.spec].Errors = append(results[j.spec].Errors, re)
+							faultMu.Unlock()
+							results[j.spec].Outcomes[j.run] = failedOutcome(cfg)
+						} else {
+							results[j.spec].Outcomes[j.run] = o
+						}
+						finish()
+						continue
+					}
+				}
+				cfg.Cancel = ctx.Done()
+				cfg.MaxWall = opts.MaxWall
+				o, err, pan, stack := runOnce(cfg)
+				if pan != nil {
+					// Same-seed retry: a run is a pure function of its
+					// Config, so a second panic classifies the fault as
+					// deterministic; a completed retry means the first
+					// failure was environmental and the run is recovered.
+					re := &RunError{
+						Spec: spec.Name, Run: j.run, Seed: cfg.Seed,
+						Panic: fmt.Sprint(pan), Stack: string(stack),
+					}
+					o, err, pan, _ = runOnce(cfg)
+					if pan != nil {
+						re.Deterministic = true
+						faultMu.Lock()
+						results[j.spec].Errors = append(results[j.spec].Errors, re)
+						faultMu.Unlock()
+						results[j.spec].Outcomes[j.run] = failedOutcome(cfg)
+						if opts.Journal != nil {
+							opts.Journal.Record(spec, j.run, nil, re)
+						}
+						finish()
+						continue
+					}
+					if err == nil {
+						faultMu.Lock()
+						results[j.spec].Flaky = append(results[j.spec].Flaky, re)
+						faultMu.Unlock()
+					}
+				}
 				if err != nil {
-					errOnce.Do(func() { firstErr = fmt.Errorf("runner: spec %q run %d: %w", spec.Name, j.run, err) })
+					fail(fmt.Errorf("runner: spec %q run %d: %w", spec.Name, j.run, err))
 					continue
 				}
 				results[j.spec].Outcomes[j.run] = o
-				if progress != nil {
-					progress(int(done.Add(1)), total)
+				if opts.Journal != nil && !o.Cancelled {
+					opts.Journal.Record(spec, j.run, &o, nil)
 				}
+				finish()
 			}
 		}()
 	}
@@ -99,7 +274,47 @@ func Execute(specs []Spec, workers int, progress func(done, total int)) ([]Resul
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	for i := range results {
+		sortByRun(results[i].Errors)
+		sortByRun(results[i].Flaky)
+	}
+	if err := ctx.Err(); err != nil {
+		// Partial results: completed runs are valid (and journaled, when a
+		// journal is attached); the rest never ran or were cancelled.
+		return results, err
+	}
 	return results, nil
+}
+
+// runOnce executes one simulation, converting a panic anywhere in the
+// protocol/adversary/engine stack into a captured (panic value, stack)
+// pair instead of crashing the batch.
+func runOnce(cfg sim.Config) (o sim.Outcome, err error, pan any, stack []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			pan, stack = r, debug.Stack()
+		}
+	}()
+	o, err = sim.Run(cfg)
+	return
+}
+
+// failedOutcome is the placeholder stored in a failed run's Outcomes slot:
+// HorizonHit is set so every cutoff-aware statistic (medians, rates, fits)
+// skips the slot without special-casing failures.
+func failedOutcome(cfg sim.Config) sim.Outcome {
+	o := sim.Outcome{N: cfg.N, F: cfg.F, Seed: cfg.Seed, Adversary: "none", HorizonHit: true}
+	if cfg.Protocol != nil {
+		o.Protocol = cfg.Protocol.Name()
+	}
+	if cfg.Adversary != nil {
+		o.Adversary = cfg.Adversary.Name()
+	}
+	return o
+}
+
+func sortByRun(errs []*RunError) {
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Run < errs[j].Run })
 }
 
 // Times extracts T(O) from each outcome.

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestCancelImmediatePartialOutcome: a run whose Cancel channel is already
+// closed stops at the first event boundary, before any step executes, and
+// returns a valid (empty-prefix) Outcome with Cancelled and HorizonHit set
+// — never an error. With the channel closed from the start the stopping
+// point is deterministic, so the outcome must replay bit-identically.
+func TestCancelImmediatePartialOutcome(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	rec := &Recorder{}
+	cfg := Config{N: 4, F: 0, Protocol: busyProto{}, Seed: 3, Cancel: done, Trace: rec}
+	o, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Cancelled || !o.HorizonHit {
+		t.Fatalf("cancelled run: Cancelled=%v HorizonHit=%v, want true/true", o.Cancelled, o.HorizonHit)
+	}
+	if o.Messages != 0 || o.TEnd != 0 || o.Quiescence != 0 {
+		t.Fatalf("closed-from-start cancel must stop before any event: %+v", o)
+	}
+	end := rec.Events[len(rec.Events)-1]
+	if end.Kind != TraceEnd || end.Note != "cancelled" {
+		t.Fatalf("trace end = %+v, want TraceEnd with note \"cancelled\"", end)
+	}
+	cfg.Trace = nil
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(o, again) {
+		t.Fatalf("closed-from-start cancellation not deterministic:\n%+v\n%+v", o, again)
+	}
+}
+
+// TestMaxWallWatchdog: a non-quiescent protocol is stopped by the
+// wall-clock watchdog long before its (enormous) event cutoff.
+func TestMaxWallWatchdog(t *testing.T) {
+	o, err := Run(Config{
+		N: 8, F: 0, Protocol: busyProto{}, Seed: 1,
+		MaxWall:   time.Millisecond,
+		MaxEvents: 200_000_000, // backstop so a broken watchdog still terminates
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Cancelled || !o.HorizonHit {
+		t.Fatalf("watchdog run: Cancelled=%v HorizonHit=%v, want true/true", o.Cancelled, o.HorizonHit)
+	}
+	if o.Messages == 0 {
+		t.Fatal("watchdog fired before any work happened; expected a partial prefix")
+	}
+}
+
+// TestHorizonHitGolden pins the exact outcome of a MaxEvents cutoff — the
+// "golden case" for cut-off runs. Like the root golden matrix, any change
+// to these values is a semantics change, not a perf change.
+func TestHorizonHitGolden(t *testing.T) {
+	cfg := Config{N: 4, F: 0, Protocol: busyProto{}, Seed: 7, MaxEvents: 1000}
+	want := Outcome{
+		Protocol:   "busy",
+		Adversary:  "none",
+		N:          4,
+		F:          0,
+		Seed:       7,
+		TEnd:       126,
+		Quiescence: 126,
+		Messages:   504,
+		Time:       63,
+		DeltaMax:   1,
+		DelayMax:   1,
+		HorizonHit: true,
+	}
+	for _, workers := range []int{0, 4} {
+		c := cfg
+		c.Workers = workers
+		got, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}

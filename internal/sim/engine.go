@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/ugf-sim/ugf/internal/xrand"
 )
@@ -48,6 +49,19 @@ type Config struct {
 	// SampleEvery is the minimum global-step distance between snapshots;
 	// 0 with a non-nil Sample means every active step.
 	SampleEvery Step
+
+	// MaxWall is a wall-clock watchdog: a run still going after this much
+	// real time stops at the next event boundary with a valid partial
+	// Outcome (Cancelled and HorizonHit set). 0 disables the watchdog.
+	// Unlike every other field, MaxWall and Cancel make the *stopping
+	// point* depend on real time, so cancelled outcomes are marked and
+	// must be excluded from statistics — which HorizonHit already ensures.
+	MaxWall time.Duration
+	// Cancel, when non-nil, is polled at event boundaries (every
+	// cancelPollEvery active steps); once it is closed the run stops with
+	// a valid partial Outcome (Cancelled and HorizonHit set). Pass a
+	// context's Done() channel for cooperative SIGINT handling.
+	Cancel <-chan struct{}
 }
 
 // Snapshot is a point on the dissemination curve.
@@ -73,6 +87,12 @@ const (
 	DefaultMaxEvents int64 = 1 << 30
 )
 
+// cancelPollEvery is the active-step granularity at which the run loop
+// polls Config.Cancel and the MaxWall deadline. A power of two so that the
+// check compiles to a mask; 256 keeps the overhead unmeasurable while
+// bounding the reaction latency to a few hundred (cheap) events.
+const cancelPollEvery = 256
+
 // Domain tags for deterministic seed derivation (see xrand.Derive).
 const (
 	seedDomainProc uint64 = 1
@@ -89,7 +109,8 @@ func AdversaryRNG(seed uint64) *xrand.RNG {
 
 // Run executes one simulation to quiescence (or cutoff) and returns its
 // Outcome. The returned error reports configuration mistakes only; runs
-// cut off by Horizon/MaxEvents return a valid Outcome with HorizonHit set.
+// cut off by Horizon/MaxEvents return a valid Outcome with HorizonHit set,
+// and runs stopped by Cancel/MaxWall additionally set Cancelled.
 func Run(cfg Config) (Outcome, error) {
 	e, err := newEngine(cfg)
 	if err != nil {
@@ -136,6 +157,7 @@ type engine struct {
 	crashCount        int
 	eventCount        int64
 	horizonHit        bool
+	cancelled         bool
 	lastSample        Step
 
 	workers int
@@ -215,7 +237,21 @@ func (e *engine) run() {
 	if e.adv != nil {
 		e.adv.Init(View{e}, Control{e})
 	}
+	watched := e.cfg.Cancel != nil || e.cfg.MaxWall > 0
+	var deadline time.Time
+	if e.cfg.MaxWall > 0 {
+		deadline = time.Now().Add(e.cfg.MaxWall)
+	}
+	poll := 0
 	for !e.quiescent() {
+		if watched {
+			if poll&(cancelPollEvery-1) == 0 && e.interrupted(deadline) {
+				e.horizonHit = true
+				e.cancelled = true
+				break
+			}
+			poll++
+		}
 		t, ok := e.nextEventTime()
 		if !ok {
 			// Unreachable: a non-quiescent system always has either an
@@ -246,11 +282,27 @@ func (e *engine) run() {
 	}
 	if e.cfg.Trace != nil {
 		note := "quiescence"
-		if e.horizonHit {
+		switch {
+		case e.cancelled:
+			note = "cancelled"
+		case e.horizonHit:
 			note = "horizon"
 		}
 		e.trace(TraceEvent{Kind: TraceEnd, Step: e.now, Proc: -1, Other: -1, Note: note})
 	}
+}
+
+// interrupted reports whether the run should stop early: its Cancel
+// channel is closed, or its MaxWall deadline has passed.
+func (e *engine) interrupted(deadline time.Time) bool {
+	if e.cfg.Cancel != nil {
+		select {
+		case <-e.cfg.Cancel:
+			return true
+		default:
+		}
+	}
+	return !deadline.IsZero() && time.Now().After(deadline)
 }
 
 func (e *engine) quiescent() bool {
@@ -488,6 +540,7 @@ func (e *engine) outcome() Outcome {
 		Messages:   e.msgTotal,
 		Crashed:    e.crashCount,
 		HorizonHit: e.horizonHit,
+		Cancelled:  e.cancelled,
 	}
 	if e.cfg.Adversary != nil {
 		o.Adversary = e.cfg.Adversary.Name()

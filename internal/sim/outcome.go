@@ -42,6 +42,12 @@ type Outcome struct {
 	// Config.MaxEvents instead of reaching quiescence. Outcomes with
 	// HorizonHit set must not be fed into complexity statistics.
 	HorizonHit bool
+	// Cancelled is true when the run was stopped by Config.Cancel or the
+	// Config.MaxWall watchdog. The outcome is a valid partial execution
+	// prefix, but — unlike a Horizon/MaxEvents cutoff — the stopping point
+	// depends on wall-clock time, so cancelled outcomes are never
+	// journaled or replayed. Cancelled implies HorizonHit.
+	Cancelled bool
 
 	// PerProcessMsgs holds M_ρ(O) for each process, only when
 	// Config.KeepPerProcess was set (it is O(N) memory per outcome).

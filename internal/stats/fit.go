@@ -19,10 +19,21 @@ func (f Fit) String() string {
 
 // LinearFit fits y ≈ a + b·x by least squares. It panics if the slices
 // have different lengths and returns a zero Fit for fewer than two points.
+// Non-finite pairs (NaN or ±Inf in either coordinate, the markers of
+// missing points in a partial series) are skipped rather than allowed to
+// poison the regression.
 func LinearFit(xs, ys []float64) Fit {
 	if len(xs) != len(ys) {
 		panic("stats: LinearFit with mismatched lengths")
 	}
+	var fx, fy []float64
+	for i := range xs {
+		if isFinite(xs[i]) && isFinite(ys[i]) {
+			fx = append(fx, xs[i])
+			fy = append(fy, ys[i])
+		}
+	}
+	xs, ys = fx, fy
 	n := float64(len(xs))
 	if len(xs) < 2 {
 		return Fit{}
@@ -53,8 +64,9 @@ func LinearFit(xs, ys []float64) Fit {
 
 // LogLogFit fits log(y) ≈ a + b·log(x): the returned Slope is the growth
 // exponent (≈1 for linear growth, ≈2 for quadratic). Points with
-// non-positive x or y are skipped; fewer than two usable points yield a
-// zero Fit.
+// non-positive or non-finite x or y are skipped — a partial series (some
+// grid points lost to failed or cut-off runs) degrades to a fit over the
+// surviving points; fewer than two usable points yield a zero Fit.
 //
 // The experiment harness uses it to verify the paper's shape claims: for
 // example, the round-robin protocol of Example 1 must fit M(N) with
@@ -65,10 +77,14 @@ func LogLogFit(xs, ys []float64) Fit {
 	}
 	var lx, ly []float64
 	for i := range xs {
-		if xs[i] > 0 && ys[i] > 0 {
+		if xs[i] > 0 && ys[i] > 0 && isFinite(xs[i]) && isFinite(ys[i]) {
 			lx = append(lx, math.Log(xs[i]))
 			ly = append(ly, math.Log(ys[i]))
 		}
 	}
 	return LinearFit(lx, ly)
+}
+
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
 }

@@ -1,0 +1,40 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Partial series — grid points lost to failed or cut-off runs arrive as
+// NaN/Inf or zero medians — must degrade the fits, not poison them.
+
+func TestLinearFitSkipsNonFinitePoints(t *testing.T) {
+	xs := []float64{1, 2, math.NaN(), 3, 4}
+	ys := []float64{2, 4, 100, math.Inf(1), 8}
+	fit := LinearFit(xs, ys)
+	if !almostEqual(fit.Slope, 2, 1e-9) || !almostEqual(fit.Intercept, 0, 1e-9) {
+		t.Errorf("fit over surviving points = %v, want slope 2 intercept 0", fit)
+	}
+	if math.IsNaN(fit.R2) {
+		t.Error("R² poisoned by a non-finite point")
+	}
+}
+
+func TestLogLogFitSkipsNonFinitePoints(t *testing.T) {
+	xs := []float64{10, 20, 40, 80}
+	ys := []float64{100, math.Inf(1), 1600, 6400}
+	fit := LogLogFit(xs, ys)
+	if !almostEqual(fit.Slope, 2, 1e-9) {
+		t.Errorf("exponent = %v, want 2 from the surviving points", fit.Slope)
+	}
+}
+
+func TestFitsDegradeToZeroWhenNothingSurvives(t *testing.T) {
+	nan := math.NaN()
+	if fit := LinearFit([]float64{nan, nan}, []float64{1, 2}); fit != (Fit{}) {
+		t.Errorf("all-missing series: %v, want zero Fit", fit)
+	}
+	if fit := LogLogFit([]float64{1, 2}, []float64{0, nan}); fit != (Fit{}) {
+		t.Errorf("all-unusable series: %v, want zero Fit", fit)
+	}
+}
