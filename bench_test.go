@@ -2,7 +2,7 @@ package ugf_test
 
 // The bench harness: one benchmark per figure panel and table of the
 // paper (DESIGN.md §3 maps ids to artifacts), plus the ablation benches
-// DESIGN.md §7 calls out. Each experiment benchmark executes its full
+// DESIGN.md §8 calls out. Each experiment benchmark executes its full
 // experiment at quick fidelity per iteration and reports the headline
 // medians as custom metrics; `ugfbench -fidelity full` regenerates the
 // paper-scale versions.
@@ -77,7 +77,7 @@ func benchAttack(b *testing.B, n, f int, proto ugf.Protocol, adv ugf.Adversary) 
 	b.ReportMetric(medM, "M-median")
 }
 
-// Ablation 1 (DESIGN.md §7): ζ(2)-sampled exponents vs the paper's fixed
+// Ablation 1 (DESIGN.md §8): ζ(2)-sampled exponents vs the paper's fixed
 // k = l = 1. Sampling occasionally draws far larger delays, trading a
 // heavier tail for the indistinguishability guarantees of Lemmas 4–5.
 func BenchmarkAblationZeta(b *testing.B) {

@@ -9,6 +9,13 @@
 // -resume continues an interrupted sweep without recomputation and
 // reproduces byte-identical outputs.
 //
+// Observability (DESIGN.md §7): a live status line on stderr tracks
+// completed/failed/flaky runs with a journal-aware ETA; -stats prints the
+// engine's aggregated run-level counters per experiment; -trace streams
+// one JSONL event trace per run to disk; -debugaddr serves expvar
+// (including the live progress snapshot) and pprof over HTTP while a long
+// sweep runs.
+//
 // Examples:
 //
 //	ugfbench -list
@@ -16,14 +23,20 @@
 //	ugfbench -exp all -fidelity medium -out results/
 //	ugfbench -exp fig3e -fidelity full       # the paper's exact setting
 //	ugfbench -exp all -fidelity full -out results/ -resume   # after ^C
+//	ugfbench -exp fig3a -stats -debugaddr localhost:6060
+//	ugfbench -exp example1 -trace traces/ -tracekinds send,crash
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debugaddr server
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -36,7 +49,23 @@ import (
 
 	"github.com/ugf-sim/ugf/internal/experiments"
 	"github.com/ugf-sim/ugf/internal/runner"
+	"github.com/ugf-sim/ugf/internal/sim"
+	simtrace "github.com/ugf-sim/ugf/internal/sim/trace"
 )
+
+// currentProgress holds the active experiment's latest progress snapshot
+// for the expvar endpoint (-debugaddr): `ugfbench_progress` serves it as
+// JSON alongside the standard runtime vars.
+var currentProgress atomic.Pointer[runner.Snapshot]
+
+func init() {
+	expvar.Publish("ugfbench_progress", expvar.Func(func() any {
+		if s := currentProgress.Load(); s != nil {
+			return *s
+		}
+		return runner.Snapshot{}
+	}))
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -64,12 +93,33 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		resume      = fs.Bool("resume", false, "reuse journaled runs from a previous interrupted sweep (requires -out)")
 		maxwall     = fs.Duration("maxwall", 0, "per-run wall-clock watchdog; runs over the limit count as cutoffs (0: none)")
 		cancelAfter = fs.Int("cancelafter", 0, "cancel the sweep after this many completed runs — a deterministic SIGINT for tests (0: never)")
+		showStats   = fs.Bool("stats", false, "print aggregated engine statistics per experiment")
+		traceDir    = fs.String("trace", "", "stream one JSONL event trace per run into this directory (can be large)")
+		traceKinds  = fs.String("tracekinds", "", "comma-separated trace kinds to keep with -trace (default: all): send,arrive,step,crash,sleep,wake,adversary,end")
+		debugAddr   = fs.String("debugaddr", "", "serve expvar (/debug/vars, incl. live progress) and pprof (/debug/pprof) on this HTTP address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *resume && *outDir == "" {
 		return errors.New("-resume requires -out (the run journal lives in the output directory)")
+	}
+	kindMask, err := parseKindMask(*traceKinds)
+	if err != nil {
+		return err
+	}
+	if *traceKinds != "" && *traceDir == "" {
+		return errors.New("-tracekinds requires -trace")
+	}
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debugaddr: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "ugfbench: debug endpoint on http://%s/debug/vars and /debug/pprof/\n", ln.Addr())
+		// DefaultServeMux carries expvar's and net/http/pprof's handlers.
+		go http.Serve(ln, nil)
 	}
 	if *cancelAfter > 0 {
 		var cancel context.CancelFunc
@@ -139,6 +189,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+	}
 
 	var reports []*experiments.Report
 	for _, e := range selected {
@@ -146,7 +201,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Fidelity: fid, Workers: *workers, BaseSeed: *seed,
 			Context: ctx, MaxWall: *maxwall,
 		}
-		cfg.Progress = progressCallback(e.ID, *progress)
+		prog := runner.NewProgress(nil, e.ID)
+		if *progress {
+			prog.W = os.Stderr
+		}
+		cfg.OnRun = onRunCallback(prog)
+		if *traceDir != "" {
+			cfg.Trace = traceFactory(*traceDir, e.ID, kindMask)
+		}
 		var j *runner.Journal
 		if *outDir != "" {
 			var err error
@@ -158,6 +220,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		start := time.Now()
 		rep, err := e.Run(cfg)
+		prog.Finish()
 		if j != nil {
 			if cerr := j.Close(); cerr != nil && err == nil {
 				err = cerr
@@ -177,11 +240,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				return fmt.Errorf("experiment %s: %w", e.ID, err)
 			}
 		}
-		if *progress {
-			fmt.Fprint(os.Stderr, "\r\033[K")
-		}
 		if err := render(out, rep, time.Since(start)); err != nil {
 			return err
+		}
+		if *showStats {
+			renderStats(out, rep)
 		}
 		if *outDir != "" {
 			if err := writeFiles(*outDir, rep); err != nil {
@@ -203,21 +266,96 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 // cancellation, giving tests a deterministic stand-in for SIGINT.
 var cancelHook func()
 
-// progressCallback builds the per-run callback passed to the runner:
-// the optional terminal progress line plus the -cancelafter hook.
-func progressCallback(id string, print bool) func(done, total int) {
+// onRunCallback builds the per-run callback passed to the runner: the
+// progress line/ETA, the expvar snapshot, and the -cancelafter hook.
+func onRunCallback(prog *runner.Progress) func(runner.RunUpdate) {
 	hook := cancelHook
-	if hook == nil && !print {
-		return nil
-	}
-	return func(done, total int) {
+	return func(u runner.RunUpdate) {
 		if hook != nil {
 			hook()
 		}
-		if print {
-			fmt.Fprintf(os.Stderr, "\r%s: %d/%d runs", id, done, total)
-		}
+		prog.OnRun(u)
+		snap := prog.Snapshot()
+		currentProgress.Store(&snap)
 	}
+}
+
+// parseKindMask converts the -tracekinds flag value into a kind mask;
+// empty input means all kinds (mask 0).
+func parseKindMask(s string) (sim.KindMask, error) {
+	var mask sim.KindMask
+	if s == "" {
+		return mask, nil
+	}
+	for _, name := range strings.Split(s, ",") {
+		k, ok := sim.ParseTraceKind(strings.TrimSpace(name))
+		if !ok {
+			return 0, fmt.Errorf("unknown trace kind %q (have send, arrive, step, crash, sleep, wake, adversary, end)", name)
+		}
+		mask |= sim.MaskOf(k)
+	}
+	return mask, nil
+}
+
+// traceFactory builds the per-run trace-sink factory for -trace: one JSONL
+// file per run, named after the experiment, spec, and run index, filtered
+// to the -tracekinds mask. A file that cannot be created disables tracing
+// for that run (reported on stderr) without failing it.
+func traceFactory(dir, expID string, kinds sim.KindMask) func(runner.Spec, int) sim.TraceSink {
+	return func(spec runner.Spec, run int) sim.TraceSink {
+		name := fmt.Sprintf("%s_%s_run%03d.jsonl", expID, sanitizeName(spec.Name), run)
+		j, err := simtrace.Create(filepath.Join(dir, name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ugfbench: trace: %v\n", err)
+			return nil
+		}
+		if kinds != 0 {
+			return simtrace.Filter{Kinds: kinds}.Sink(j)
+		}
+		return j
+	}
+}
+
+// sanitizeName makes a spec name filesystem-safe ("ears/ugf" → "ears-ugf").
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':', ' ':
+			return '-'
+		}
+		return r
+	}, s)
+}
+
+// renderStats prints the experiment's aggregated engine counters (-stats).
+func renderStats(w io.Writer, rep *experiments.Report) {
+	s := &rep.Engine
+	fmt.Fprintf(w, "engine stats over %d run(s):\n", rep.EngineRuns)
+	fmt.Fprintf(w, "  scheduler: %d events, %d heap pushes, %d pops, %d active steps\n",
+		s.Events, s.HeapPushes, s.HeapPops, s.ActiveSteps)
+	fmt.Fprintf(w, "  messages:  %d sent, %d delivered, %d dropped at crashed procs, %d omitted%s\n",
+		s.Sends, s.Deliveries, s.DroppedCrashed, s.OmittedSends, kindBreakdown(s.MessagesByKind))
+	fmt.Fprintf(w, "  pressure:  max %d in flight, max %d pending in mailboxes\n",
+		s.MaxInFlight, s.MaxPending)
+	fmt.Fprintf(w, "  lifecycle: %d local steps, %d sleeps, %d wakes, %d crashes\n",
+		s.LocalSteps, s.Sleeps, s.Wakes, s.Crashes)
+	fmt.Fprintf(w, "  adversary: %d delta / %d delay / %d omission rewrites\n",
+		s.DeltaRewrites, s.DelayRewrites, s.OmitRewrites)
+	fmt.Fprintf(w, "  wall time: init %v, run %v, finalize %v\n\n",
+		s.Wall.Init.Round(time.Microsecond), s.Wall.Run.Round(time.Microsecond),
+		s.Wall.Finalize.Round(time.Microsecond))
+}
+
+// kindBreakdown renders MessagesByKind as " (data×12, pull×7)", or "".
+func kindBreakdown(kinds []sim.KindCount) string {
+	if len(kinds) == 0 {
+		return ""
+	}
+	parts := make([]string, len(kinds))
+	for i, kc := range kinds {
+		parts[i] = fmt.Sprintf("%s×%d", kc.Kind, kc.Count)
+	}
+	return " (" + strings.Join(parts, ", ") + ")"
 }
 
 // atomicWrite streams the file through a temp file in the target

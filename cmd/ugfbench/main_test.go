@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/ugf-sim/ugf/internal/sim/trace"
 )
 
 func runCLI(t *testing.T, args ...string) (string, error) {
@@ -121,7 +123,9 @@ func TestErrors(t *testing.T) {
 		{"-exp", "bogus"},
 		{"-fidelity", "bogus"},
 		{"-not-a-flag"},
-		{"-resume"}, // -resume without -out has no journal to resume from
+		{"-resume"},                       // -resume without -out has no journal to resume from
+		{"-tracekinds", "send"},           // -tracekinds without -trace has nothing to filter
+		{"-trace", ".", "-tracekinds", "bogus"}, // unknown trace kind
 	}
 	for _, args := range cases {
 		if _, err := runCLI(t, args...); err == nil {
@@ -183,5 +187,112 @@ func TestKillAndResume(t *testing.T) {
 		if len(leftovers) > 0 {
 			t.Errorf("temp files left behind in %s: %v", dir, leftovers)
 		}
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	out, err := runCLI(t, "-exp", "example1", "-progress=false", "-stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"engine stats over", "scheduler:", "messages:", "pressure:",
+		"lifecycle:", "adversary:", "wall time:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "scheduler: 0 events,") {
+		t.Errorf("-stats reports an empty scheduler:\n%s", out)
+	}
+}
+
+func TestTraceFlagWritesPerRunFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := runCLI(t, "-exp", "example1", "-progress=false", "-trace", dir); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "example1_*_run*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no trace files written to %s", dir)
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(recs) == 0 || recs[len(recs)-1].Kind != "end" {
+			t.Errorf("%s: trace empty or not terminated (%d records)", path, len(recs))
+		}
+	}
+}
+
+func TestTraceKindsFiltersFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := runCLI(t, "-exp", "example1", "-progress=false",
+		"-trace", dir, "-tracekinds", "send"); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no trace files (err=%v)", err)
+	}
+	total := 0
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, r := range recs {
+			if r.Kind != "send" {
+				t.Fatalf("%s: kind %q escaped the -tracekinds send filter", path, r.Kind)
+			}
+		}
+		total += len(recs)
+	}
+	if total == 0 {
+		t.Fatal("filtered traces kept no send events at all")
+	}
+}
+
+// TestResumeProgressCountsJournal is the CLI end of the live-progress
+// acceptance: after an interrupted sweep is resumed, the progress snapshot
+// (the same one -debugaddr serves via expvar) must show the full sweep done
+// with the journal-served runs counted separately, so the ETA during the
+// resume was derived from computed runs only.
+func TestResumeProgressCountsJournal(t *testing.T) {
+	dir := t.TempDir()
+	common := []string{"-exp", "fig3a", "-progress=false", "-out", dir}
+
+	_, err := runCLI(t, append(common, "-cancelafter", "10")...)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep: err = %v, want context.Canceled", err)
+	}
+	if _, err := runCLI(t, append(common, "-resume")...); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	snap := currentProgress.Load()
+	if snap == nil {
+		t.Fatal("no progress snapshot published")
+	}
+	if snap.Done != snap.Total || snap.Total == 0 {
+		t.Fatalf("resumed sweep incomplete in snapshot: %+v", snap)
+	}
+	if snap.Journaled == 0 || snap.Journaled >= snap.Total {
+		t.Fatalf("snapshot must count journal-served runs (0 < Journaled < Total): %+v", snap)
 	}
 }

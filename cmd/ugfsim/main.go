@@ -42,7 +42,10 @@ func run(args []string, out io.Writer) error {
 		seed       = fs.Uint64("seed", 1, "random seed")
 		runs       = fs.Int("runs", 1, "repetitions (summary statistics when > 1)")
 		workers    = fs.Int("workers", 0, "parallel runs (0: GOMAXPROCS)")
-		trace      = fs.Bool("trace", false, "print the event trace (runs=1 only)")
+		trace      = fs.Bool("trace", false, "stream the event trace as text (runs=1 only)")
+		traceOut   = fs.String("traceout", "", "stream the event trace to this JSONL file (runs=1 only)")
+		traceKinds = fs.String("tracekinds", "", "comma-separated trace kinds to keep (default: all): send,arrive,step,crash,sleep,wake,adversary,end")
+		showStats  = fs.Bool("stats", false, "print the engine's run-level statistics (runs=1 only)")
 		quiet      = fs.Bool("q", false, "print outcome line(s) only")
 		asJSON     = fs.Bool("json", false, "emit outcomes as JSON lines instead of text")
 		curve      = fs.Bool("curve", false, "print the dissemination curve (runs=1 only)")
@@ -78,11 +81,37 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	var kinds ugf.KindMask
+	for _, name := range strings.FieldsFunc(*traceKinds, func(r rune) bool { return r == ',' }) {
+		k, ok := ugf.ParseTraceKind(strings.TrimSpace(name))
+		if !ok {
+			return fmt.Errorf("unknown trace kind %q (have send, arrive, step, crash, sleep, wake, adversary, end)", name)
+		}
+		kinds |= ugf.MaskOf(k)
+	}
+
 	if *runs <= 1 {
-		var rec *ugf.Recorder
+		// Traces stream as the engine produces them — text to stdout, JSONL
+		// to -traceout — so even huge runs never buffer events in memory.
+		var sinks []ugf.TraceSink
 		if *trace {
-			rec = &ugf.Recorder{}
-			cfg.Trace = rec
+			sinks = append(sinks, ugf.FuncSink(func(ev ugf.TraceEvent) {
+				fmt.Fprintln(out, ev)
+			}))
+		}
+		if *traceOut != "" {
+			jl, err := ugf.CreateJSONLTrace(*traceOut)
+			if err != nil {
+				return err
+			}
+			sinks = append(sinks, jl)
+		}
+		if len(sinks) > 0 {
+			var sink ugf.TraceSink = ugf.MultiTrace(sinks...)
+			if kinds != 0 {
+				sink = ugf.TraceFilter{Kinds: kinds}.Sink(sink)
+			}
+			cfg.Trace = sink
 		}
 		if *curve {
 			cfg.SampleEvery = ugf.Step(*curveEvery)
@@ -95,14 +124,20 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if rec != nil {
-			for _, ev := range rec.Events {
-				fmt.Fprintln(out, ev)
+		if cfg.Trace != nil {
+			if cerr := ugf.CloseTrace(cfg.Trace); cerr != nil {
+				return cerr
 			}
+		}
+		if *showStats {
+			printStats(out, o.Stats)
 		}
 		return emit(o)
 	}
 
+	if *trace || *traceOut != "" || *showStats {
+		return fmt.Errorf("-trace, -traceout and -stats need runs=1 (got -runs %d)", *runs)
+	}
 	specs := []runner.Spec{{
 		Name: *protoName + "/" + *advName,
 		Base: cfg,
@@ -171,4 +206,24 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out)
 	}
 	return nil
+}
+
+// printStats renders the run's engine statistics block (-stats).
+func printStats(w io.Writer, s ugf.Stats) {
+	fmt.Fprintf(w, "engine stats:\n")
+	fmt.Fprintf(w, "  scheduler: %d events, %d heap pushes, %d pops, %d active steps\n",
+		s.Events, s.HeapPushes, s.HeapPops, s.ActiveSteps)
+	fmt.Fprintf(w, "  messages:  %d sent, %d delivered, %d dropped at crashed procs, %d omitted\n",
+		s.Sends, s.Deliveries, s.DroppedCrashed, s.OmittedSends)
+	for _, kc := range s.MessagesByKind {
+		fmt.Fprintf(w, "             %s×%d\n", kc.Kind, kc.Count)
+	}
+	fmt.Fprintf(w, "  pressure:  max %d in flight, max %d pending in mailboxes\n",
+		s.MaxInFlight, s.MaxPending)
+	fmt.Fprintf(w, "  lifecycle: %d local steps, %d sleeps, %d wakes, %d crashes\n",
+		s.LocalSteps, s.Sleeps, s.Wakes, s.Crashes)
+	fmt.Fprintf(w, "  adversary: %d delta / %d delay / %d omission rewrites\n",
+		s.DeltaRewrites, s.DelayRewrites, s.OmitRewrites)
+	fmt.Fprintf(w, "  wall time: init %v, run %v, finalize %v\n",
+		s.Wall.Init, s.Wall.Run, s.Wall.Finalize)
 }

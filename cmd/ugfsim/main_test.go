@@ -2,8 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/ugf-sim/ugf"
 )
 
 func runCLI(t *testing.T, args ...string) (string, error) {
@@ -108,12 +112,94 @@ func TestCurveOutput(t *testing.T) {
 	}
 }
 
+func TestTraceOutWritesJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	out, err := runCLI(t, "-protocol", "push-pull", "-n", "15", "-seed", "4",
+		"-traceout", path, "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o struct{ Messages int }
+	if err := json.Unmarshal([]byte(out), &o); err != nil {
+		t.Fatalf("invalid JSON outcome %q: %v", out, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ugf.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sends := 0
+	for _, r := range recs {
+		if r.Kind == "send" {
+			sends++
+		}
+	}
+	if sends != o.Messages {
+		t.Errorf("trace holds %d sends, outcome says %d", sends, o.Messages)
+	}
+	if last := recs[len(recs)-1]; last.Kind != "end" {
+		t.Errorf("trace not terminated: last record %+v", last)
+	}
+}
+
+func TestTraceKindsFiltersJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if _, err := runCLI(t, "-protocol", "ears", "-n", "15",
+		"-traceout", path, "-tracekinds", "send,crash", "-q"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ugf.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("filter kept nothing")
+	}
+	for _, r := range recs {
+		if r.Kind != "send" && r.Kind != "crash" {
+			t.Fatalf("kind %q escaped the -tracekinds send,crash filter", r.Kind)
+		}
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	out, err := runCLI(t, "-protocol", "push-pull", "-n", "20", "-stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"engine stats:", "scheduler:", "messages:", "pressure:",
+		"lifecycle:", "adversary:", "wall time:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "scheduler: 0 events,") {
+		t.Errorf("-stats reports an empty scheduler:\n%s", out)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	cases := [][]string{
 		{"-protocol", "bogus"},
 		{"-adversary", "bogus"},
 		{"-n", "0"},
 		{"-definitely-not-a-flag"},
+		{"-tracekinds", "bogus"},
+		// The streaming-observability flags are single-run only.
+		{"-runs", "3", "-stats"},
+		{"-runs", "3", "-trace"},
+		{"-runs", "3", "-traceout", "x.jsonl"},
 	}
 	for _, args := range cases {
 		if _, err := runCLI(t, args...); err == nil {

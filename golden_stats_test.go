@@ -1,0 +1,59 @@
+package ugf_test
+
+// Observability regression tests over the golden matrix: the engine's
+// always-on Stats block must be (a) populated on every run, (b) identical
+// between serial and parallel stepping, and (c) inert — streaming a full
+// JSONL trace of a run must leave its golden row untouched. Together with
+// TestGoldenOutcomes this pins the "observation is pure" contract across
+// every protocol × adversary family of the evaluation.
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"github.com/ugf-sim/ugf"
+)
+
+func TestGoldenStatsSerialParallelIdentical(t *testing.T) {
+	for i, c := range goldenMatrix() {
+		serial, err := ugf.Run(goldenConfig(t, c, i, 1))
+		if err != nil {
+			t.Fatalf("case %d (%s/%s N=%d): %v", i, c.proto, c.adv, c.n, err)
+		}
+		parallel, err := ugf.Run(goldenConfig(t, c, i, 4))
+		if err != nil {
+			t.Fatalf("case %d (%s/%s N=%d): %v", i, c.proto, c.adv, c.n, err)
+		}
+		if serial.Stats.Events == 0 || serial.Stats.Sends != serial.Messages {
+			t.Errorf("case %d (%s/%s N=%d): stats not populated: %+v",
+				i, c.proto, c.adv, c.n, serial.Stats)
+		}
+		if !reflect.DeepEqual(serial.Stats.StripWall(), parallel.Stats.StripWall()) {
+			t.Errorf("case %d (%s/%s N=%d): stats diverge across worker counts:\nserial   %+v\nparallel %+v",
+				i, c.proto, c.adv, c.n, serial.Stats, parallel.Stats)
+		}
+	}
+}
+
+func TestGoldenOutcomesUnchangedByJSONLTrace(t *testing.T) {
+	cases := goldenMatrix()
+	if len(cases) != len(goldenRows) {
+		t.Fatalf("matrix has %d cases but table has %d rows", len(cases), len(goldenRows))
+	}
+	for i, c := range cases {
+		cfg := goldenConfig(t, c, i, 1)
+		cfg.Trace = ugf.NewJSONLTrace(io.Discard)
+		o, err := ugf.Run(cfg)
+		if err != nil {
+			t.Fatalf("case %d (%s/%s N=%d): %v", i, c.proto, c.adv, c.n, err)
+		}
+		if err := ugf.CloseTrace(cfg.Trace); err != nil {
+			t.Fatalf("case %d: trace close: %v", i, err)
+		}
+		if got := rowOf(o); got != goldenRows[i] {
+			t.Errorf("case %d (%s/%s N=%d): JSONL trace changed the outcome:\n got  %v\n want %v",
+				i, c.proto, c.adv, c.n, got, goldenRows[i])
+		}
+	}
+}

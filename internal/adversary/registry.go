@@ -1,0 +1,61 @@
+package adversary
+
+import (
+	"fmt"
+
+	"github.com/ugf-sim/ugf/internal/core"
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+// ByName returns the adversary with the given registry name, configured
+// with the paper's experimental parameters, mirroring gossip.ByName. The
+// name "none" resolves to (nil, true): a nil Adversary is the engine's
+// adversary-free mode. Parameterized construction (custom exponents,
+// crash schedules, …) is done by building the struct directly.
+func ByName(name string) (sim.Adversary, bool) {
+	if name == "none" {
+		return nil, true
+	}
+	a, ok := registry[name]
+	return a, ok
+}
+
+// Names lists the registry names, "none" first, then the paper's
+// presentation order: UGF and its variants, the component strategies, the
+// contrast adversaries.
+func Names() []string {
+	return append([]string(nil), names...)
+}
+
+// MustByName is ByName for static names; it panics on unknown ones.
+func MustByName(name string) sim.Adversary {
+	a, ok := ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("adversary: unknown adversary %q (have %v)", name, Names()))
+	}
+	return a
+}
+
+// names fixes the order Names returns; every entry except "none" has a
+// registry value.
+var names = []string{
+	"none", "ugf", "ugf-sampled",
+	"strategy-1", "strategy-2.1.0", "strategy-2.1.1",
+	"oblivious", "omission",
+}
+
+// registry maps names to configured values. The strategy keys name the
+// k = l = 1 instantiations the experiments use ("strategy-2.1.0",
+// "strategy-2.1.1"), not the generic Name() labels ("strategy-2.k.0"),
+// which describe the parameterized family.
+var registry = map[string]sim.Adversary{
+	// The paper's Section V-A3 setting fixes both exponents to 1; the
+	// sampled variant draws them from ζ(2) as Algorithm 1 specifies.
+	"ugf":            core.UGF{FixedK: 1, FixedL: 1},
+	"ugf-sampled":    core.UGF{},
+	"strategy-1":     core.Strategy1{},
+	"strategy-2.1.0": core.Strategy2K0{},
+	"strategy-2.1.1": core.Strategy2KL{},
+	(Oblivious{}).Name(): Oblivious{},
+	(Omission{}).Name():  Omission{},
+}

@@ -70,6 +70,13 @@ type Config struct {
 	BaseSeed uint64
 	// Progress, when non-nil, receives per-run completion updates.
 	Progress func(done, total int)
+	// OnRun, when non-nil, receives the runner's rich per-run updates
+	// (identity, cumulative failure counts, journal hits) — the feed behind
+	// ugfbench's live status line and expvar metrics.
+	OnRun func(u runner.RunUpdate)
+	// Trace, when non-nil, supplies a per-run trace sink (ugfbench -trace);
+	// see runner.Options.Trace for the lifecycle contract.
+	Trace func(spec runner.Spec, run int) sim.TraceSink
 	// Context cancels the experiment cooperatively: between runs and, via
 	// the engine's event-boundary polling, inside delay-heavy runs. nil
 	// means context.Background(). On cancellation Run returns the
@@ -132,6 +139,13 @@ type Report struct {
 	Notes []string
 	// Fidelity the report was generated at.
 	Fidelity Fidelity
+	// Engine aggregates the engine-level Stats counters over every run the
+	// experiment executed (scheduler events, messages by kind, adversary
+	// interventions, wall time per phase) — the data behind ugfbench
+	// -stats. Journal-served runs contribute their recorded stats.
+	Engine sim.Stats
+	// EngineRuns is the number of outcomes aggregated into Engine.
+	EngineRuns int
 }
 
 // Notef appends a formatted note.
@@ -210,6 +224,8 @@ func execute(rep *Report, cfg Config, specs []runner.Spec) ([]runner.Result, err
 	results, err := runner.ExecuteContext(cfg.context(), specs, runner.Options{
 		Workers:  cfg.Workers,
 		Progress: cfg.Progress,
+		OnRun:    cfg.OnRun,
+		Trace:    cfg.Trace,
 		Journal:  cfg.Journal,
 		MaxWall:  cfg.MaxWall,
 	})
@@ -217,6 +233,10 @@ func execute(rep *Report, cfg Config, specs []runner.Spec) ([]runner.Result, err
 		return nil, err
 	}
 	for _, res := range results {
+		for i := range res.Outcomes {
+			rep.Engine.Merge(&res.Outcomes[i].Stats)
+			rep.EngineRuns++
+		}
 		if n := len(res.Errors); n > 0 {
 			rep.Notef("PARTIAL — series %q: %d/%d runs failed and were excluded (first: %v)",
 				res.Spec.Name, n, res.Spec.Runs, res.Errors[0])

@@ -125,6 +125,8 @@ func TestPanicIsolatedToOneRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	check(t, parallel[0])
+	stripWall(serial)
+	stripWall(parallel)
 	if !reflect.DeepEqual(serial[0].Outcomes, parallel[0].Outcomes) {
 		t.Error("worker count changed the surviving outcomes")
 	}

@@ -18,6 +18,7 @@ package runner
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -114,6 +115,29 @@ func (r *Result) Kept() []sim.Outcome {
 	return kept
 }
 
+// RunUpdate describes one finished run to an Options.OnRun observer,
+// together with cumulative batch counters. Counter fields are snapshots
+// taken when the run finished; Done is unique and dense (1..Total across
+// all updates), the cumulative counters are monotone but may appear
+// out of order across concurrently delivered updates.
+type RunUpdate struct {
+	// Spec and Run identify the finished run; Seed is its derived seed.
+	Spec string
+	Run  int
+	Seed uint64
+	// Done and Total count finished runs (any way) against the batch size.
+	Done, Total int
+	// Failed and Flaky are the cumulative deterministic-failure and
+	// recovered-by-retry counts so far.
+	Failed, Flaky int
+	// FromJournal marks a run served from the journal without
+	// recomputation; Journaled is the cumulative count of such runs.
+	FromJournal bool
+	Journaled   int
+	// Err is set when this run failed deterministically.
+	Err *RunError
+}
+
 // Options parameterizes ExecuteContext beyond the spec list.
 type Options struct {
 	// Workers bounds run-level parallelism (≤ 0: GOMAXPROCS).
@@ -122,6 +146,19 @@ type Options struct {
 	// failed, or served from the journal) with the number done and the
 	// total. It may be called concurrently from several workers.
 	Progress func(done, total int)
+	// OnRun, when non-nil, is called after each finished run with the run's
+	// identity and cumulative batch counters — the feed behind live
+	// progress lines, ETA estimates, and expvar metrics. Like Progress it
+	// may be called concurrently from several workers and must be fast; it
+	// runs on the worker goroutine.
+	OnRun func(u RunUpdate)
+	// Trace, when non-nil, supplies a per-run trace sink: it is called
+	// before each computed run (never for journal-served ones) and its
+	// result becomes the run's Config.Trace. A nil result disables tracing
+	// for that run. Sinks that implement io.Closer are closed when the run
+	// finishes; a panicking run's sink is closed and a fresh one opened for
+	// the same-seed retry, so a trace file never mixes two attempts.
+	Trace func(spec Spec, run int) sim.TraceSink
 	// Journal, when non-nil, serves previously recorded runs without
 	// recomputation and records every newly finished run, making the batch
 	// resumable after a crash or SIGINT. Cancelled outcomes are never
@@ -180,20 +217,31 @@ func ExecuteContext(ctx context.Context, specs []Spec, opts Options) ([]Result, 
 	// worker hand-off; workers drain at their own pace.
 	jobs := make(chan job, total)
 	var (
-		wg       sync.WaitGroup
-		done     atomic.Int64
-		firstErr error
-		errOnce  sync.Once
-		stopped  atomic.Bool // batch failed or cancelled: drain, don't run
-		faultMu  sync.Mutex  // guards Errors/Flaky appends across workers
+		wg        sync.WaitGroup
+		done      atomic.Int64
+		failedCt  atomic.Int64
+		flakyCt   atomic.Int64
+		journaled atomic.Int64
+		firstErr  error
+		errOnce   sync.Once
+		stopped   atomic.Bool // batch failed or cancelled: drain, don't run
+		faultMu   sync.Mutex  // guards Errors/Flaky appends across workers
 	)
 	fail := func(err error) {
 		errOnce.Do(func() { firstErr = err })
 		stopped.Store(true)
 	}
-	finish := func() {
+	finish := func(u RunUpdate) {
+		u.Done = int(done.Add(1))
+		u.Total = total
 		if opts.Progress != nil {
-			opts.Progress(int(done.Add(1)), total)
+			opts.Progress(u.Done, total)
+		}
+		if opts.OnRun != nil {
+			u.Failed = int(failedCt.Load())
+			u.Flaky = int(flakyCt.Load())
+			u.Journaled = int(journaled.Load())
+			opts.OnRun(u)
 		}
 	}
 	for w := 0; w < workers; w++ {
@@ -207,9 +255,14 @@ func ExecuteContext(ctx context.Context, specs []Spec, opts Options) ([]Result, 
 				spec := specs[j.spec]
 				cfg := spec.Base
 				cfg.Seed = xrand.Derive(spec.BaseSeed, uint64(j.run))
+				update := RunUpdate{Spec: spec.Name, Run: j.run, Seed: cfg.Seed}
 				if opts.Journal != nil {
 					if o, re, ok := opts.Journal.Lookup(spec, j.run); ok {
+						update.FromJournal = true
+						journaled.Add(1)
 						if re != nil {
+							failedCt.Add(1)
+							update.Err = re
 							faultMu.Lock()
 							results[j.spec].Errors = append(results[j.spec].Errors, re)
 							faultMu.Unlock()
@@ -217,12 +270,17 @@ func ExecuteContext(ctx context.Context, specs []Spec, opts Options) ([]Result, 
 						} else {
 							results[j.spec].Outcomes[j.run] = o
 						}
-						finish()
+						finish(update)
 						continue
 					}
 				}
 				cfg.Cancel = ctx.Done()
 				cfg.MaxWall = opts.MaxWall
+				var sink sim.TraceSink
+				if opts.Trace != nil {
+					sink = opts.Trace(spec, j.run)
+					cfg.Trace = sink
+				}
 				o, err, pan, stack := runOnce(cfg)
 				if pan != nil {
 					// Same-seed retry: a run is a pure function of its
@@ -233,9 +291,18 @@ func ExecuteContext(ctx context.Context, specs []Spec, opts Options) ([]Result, 
 						Spec: spec.Name, Run: j.run, Seed: cfg.Seed,
 						Panic: fmt.Sprint(pan), Stack: string(stack),
 					}
+					if sink != nil {
+						// A fresh sink for the retry, so the trace holds one
+						// complete attempt rather than two interleaved ones.
+						closeSink(sink)
+						sink = opts.Trace(spec, j.run)
+						cfg.Trace = sink
+					}
 					o, err, pan, _ = runOnce(cfg)
 					if pan != nil {
 						re.Deterministic = true
+						failedCt.Add(1)
+						update.Err = re
 						faultMu.Lock()
 						results[j.spec].Errors = append(results[j.spec].Errors, re)
 						faultMu.Unlock()
@@ -243,15 +310,18 @@ func ExecuteContext(ctx context.Context, specs []Spec, opts Options) ([]Result, 
 						if opts.Journal != nil {
 							opts.Journal.Record(spec, j.run, nil, re)
 						}
-						finish()
+						closeSink(sink)
+						finish(update)
 						continue
 					}
 					if err == nil {
+						flakyCt.Add(1)
 						faultMu.Lock()
 						results[j.spec].Flaky = append(results[j.spec].Flaky, re)
 						faultMu.Unlock()
 					}
 				}
+				closeSink(sink)
 				if err != nil {
 					fail(fmt.Errorf("runner: spec %q run %d: %w", spec.Name, j.run, err))
 					continue
@@ -260,7 +330,7 @@ func ExecuteContext(ctx context.Context, specs []Spec, opts Options) ([]Result, 
 				if opts.Journal != nil && !o.Cancelled {
 					opts.Journal.Record(spec, j.run, &o, nil)
 				}
-				finish()
+				finish(update)
 			}
 		}()
 	}
@@ -284,6 +354,16 @@ func ExecuteContext(ctx context.Context, specs []Spec, opts Options) ([]Result, 
 		return results, err
 	}
 	return results, nil
+}
+
+// closeSink closes a per-run trace sink if it is closable (file-backed
+// JSONL sinks are; in-memory recorders are not). Close errors are
+// deliberately non-fatal: tracing is observability, it never takes a run's
+// outcome down with it.
+func closeSink(s sim.TraceSink) {
+	if c, ok := s.(io.Closer); ok {
+		c.Close()
+	}
 }
 
 // runOnce executes one simulation, converting a panic anywhere in the

@@ -106,6 +106,7 @@ func (c Control) SetDelta(p ProcID, v Step) {
 	if v < 1 {
 		panic("sim: SetDelta with non-positive step time")
 	}
+	e.st.DeltaRewrites++
 	e.delta[p] = v
 	e.anchor[p] = e.now
 	if e.sched.scheduledAt(p) != noSchedule {
@@ -127,6 +128,7 @@ func (c Control) SetDelay(p ProcID, v Step) {
 	if v < 1 {
 		panic("sim: SetDelay with non-positive delivery time")
 	}
+	e.st.DelayRewrites++
 	e.delay[p] = v
 	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "delay"})
 }
@@ -144,6 +146,7 @@ func (c Control) SetOmitFrom(p ProcID, omit bool) {
 	if p < 0 || int(p) >= e.n {
 		panic("sim: SetOmitFrom on process out of range")
 	}
+	e.st.OmitRewrites++
 	e.omitted[p] = omit
 	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "omit"})
 }

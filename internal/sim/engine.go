@@ -49,6 +49,13 @@ type Config struct {
 	// SampleEvery is the minimum global-step distance between snapshots;
 	// 0 with a non-nil Sample means every active step.
 	SampleEvery Step
+	// StatsEvery, when > 0, records the per-interval activity series in
+	// Outcome.Stats.Intervals: one IntervalStats per window of at least
+	// StatsEvery global steps with any activity. Unlike Sample it costs
+	// O(1) per event and nothing per process, so it is usable on runs
+	// where a coverage snapshot would be prohibitive. 0 disables the
+	// series; the run-wide counters of Outcome.Stats are always on.
+	StatsEvery Step
 
 	// MaxWall is a wall-clock watchdog: a run still going after this much
 	// real time stops at the next event boundary with a valid partial
@@ -112,12 +119,20 @@ func AdversaryRNG(seed uint64) *xrand.RNG {
 // cut off by Horizon/MaxEvents return a valid Outcome with HorizonHit set,
 // and runs stopped by Cancel/MaxWall additionally set Cancelled.
 func Run(cfg Config) (Outcome, error) {
+	t0 := time.Now()
 	e, err := newEngine(cfg)
 	if err != nil {
 		return Outcome{}, err
 	}
+	t1 := time.Now()
 	e.run()
-	return e.outcome(), nil
+	t2 := time.Now()
+	o := e.outcome()
+	// Wall times are measured per run phase, not per step, so the cost is
+	// four clock reads per run — and they are the only Stats fields that
+	// are not a pure function of (Config, Seed).
+	o.Stats.Wall = WallStats{Init: t1.Sub(t0), Run: t2.Sub(t1), Finalize: time.Since(t2)}
+	return o, nil
 }
 
 type engine struct {
@@ -160,6 +175,15 @@ type engine struct {
 	cancelled         bool
 	lastSample        Step
 
+	// Observability (see stats.go). All counting happens in the serial
+	// engine phases, so Stats is identical under parallel stepping.
+	st         Stats
+	kinds      []KindCount // per-payload-kind send counts
+	lastKind   int         // MRU index into kinds: consecutive sends share kinds
+	inflight   int64       // messages currently in the calendar
+	statsEvery Step        // Config.StatsEvery
+	interval   IntervalStats
+
 	workers int
 	wg      sync.WaitGroup
 	panics  []any
@@ -199,6 +223,7 @@ func newEngine(cfg Config) (*engine, error) {
 		outboxes:     make([]Outbox, n),
 		awakeCorrect: n,
 		workers:      cfg.Workers,
+		statsEvery:   cfg.StatsEvery,
 	}
 	if e.horizon == 0 {
 		e.horizon = DefaultHorizon
@@ -265,6 +290,10 @@ func (e *engine) run() {
 			break
 		}
 		e.now = t
+		e.st.ActiveSteps++
+		if e.statsEvery > 0 && t >= e.interval.Start+e.statsEvery {
+			e.closeInterval(t)
+		}
 		if e.adv != nil {
 			events := e.sendLog
 			e.sendLog = e.sendLog[:0]
@@ -280,6 +309,9 @@ func (e *engine) run() {
 	if e.cfg.Sample != nil && (e.lastSample == 0 || e.lastSample != e.now) {
 		e.cfg.Sample(e.snapshot()) // final point of the curve
 	}
+	if e.statsEvery > 0 {
+		e.closeInterval(e.now + 1) // flush the open window
+	}
 	if e.cfg.Trace != nil {
 		note := "quiescence"
 		switch {
@@ -290,6 +322,41 @@ func (e *engine) run() {
 		}
 		e.trace(TraceEvent{Kind: TraceEnd, Step: e.now, Proc: -1, Other: -1, Note: note})
 	}
+}
+
+// closeInterval seals the open stats window at boundary (exclusive) and
+// opens the next one there. Windows with no activity are dropped: a
+// delay-heavy run spends most of its global-step range in gaps where
+// provably nothing happens, and recording those would bloat the series
+// without information.
+func (e *engine) closeInterval(boundary Step) {
+	if e.interval.active() {
+		e.interval.End = boundary
+		e.interval.AwakeCorrect = e.awakeCorrect
+		e.interval.InFlight = e.inflight
+		e.st.Intervals = append(e.st.Intervals, e.interval)
+	}
+	e.interval = IntervalStats{Start: boundary}
+}
+
+// countKind increments the send counter of payload kind k. Kinds live in
+// a small slice probed linearly with an MRU cache — protocols use a
+// handful of kinds and consecutive sends overwhelmingly share one, so the
+// common case is a single string comparison and no map or allocation.
+func (e *engine) countKind(k string) {
+	if e.lastKind < len(e.kinds) && e.kinds[e.lastKind].Kind == k {
+		e.kinds[e.lastKind].Count++
+		return
+	}
+	for i := range e.kinds {
+		if e.kinds[i].Kind == k {
+			e.kinds[i].Count++
+			e.lastKind = i
+			return
+		}
+	}
+	e.kinds = append(e.kinds, KindCount{Kind: k, Count: 1})
+	e.lastKind = len(e.kinds) - 1
 }
 
 // interrupted reports whether the run should stop early: its Cancel
@@ -353,9 +420,15 @@ func (e *engine) deliver(t Step) {
 		return
 	}
 	for _, m := range bucket {
+		e.inflight--
 		if e.crashed[m.To] {
 			// inflightTo[m.To] was zeroed when To crashed; just drop.
+			e.st.DroppedCrashed++
 			continue
+		}
+		e.st.Deliveries++
+		if e.statsEvery > 0 {
+			e.interval.Deliveries++
 		}
 		e.pending[m.To] = append(e.pending[m.To], m)
 		e.pendingCount[m.To]++
@@ -369,6 +442,9 @@ func (e *engine) deliver(t Step) {
 		if e.cfg.Trace != nil {
 			e.trace(TraceEvent{Kind: TraceArrive, Step: t, Proc: m.To, Other: m.From, Payload: m.Payload})
 		}
+	}
+	if e.totalPending > e.st.MaxPending {
+		e.st.MaxPending = e.totalPending
 	}
 	e.cal.release(bucket)
 }
@@ -413,6 +489,7 @@ func (e *engine) commitOne(t Step, p ProcID) {
 	e.pendingCount[p] = 0
 	e.pending[p] = e.pending[p][:0]
 	e.eventCount++
+	e.st.LocalSteps++
 
 	ob := &e.outboxes[p]
 	for _, d := range ob.drafts {
@@ -420,6 +497,15 @@ func (e *engine) commitOne(t Step, p ProcID) {
 		e.sent[p]++
 		e.lastSend[p] = t
 		e.eventCount++
+		kind := "?"
+		if d.payload != nil {
+			kind = d.payload.Kind()
+		}
+		e.countKind(kind)
+		if e.statsEvery > 0 {
+			e.interval.Sends++
+			e.interval.DelayHist[delayBucket(e.delay[p])]++
+		}
 		deliverAt := t + e.delay[p]
 		if e.adv != nil {
 			// Only an adversary reads the send log; without one, appending
@@ -430,12 +516,22 @@ func (e *engine) commitOne(t Step, p ProcID) {
 			e.trace(TraceEvent{Kind: TraceSend, Step: t, Proc: p, Other: d.to, Payload: d.payload})
 		}
 		if e.crashed[d.to] || e.omitted[p] {
-			continue // counted in M(O), but undeliverable
+			// Counted in M(O), but undeliverable.
+			if e.crashed[d.to] {
+				e.st.DroppedCrashed++
+			} else {
+				e.st.OmittedSends++
+			}
+			continue
 		}
 		if e.cal.add(deliverAt, Message{
 			From: p, To: d.to, SentAt: t, DeliverAt: deliverAt, Payload: d.payload,
 		}) {
 			e.sched.scheduleDelivery(deliverAt)
+		}
+		e.inflight++
+		if e.inflight > e.st.MaxInFlight {
+			e.st.MaxInFlight = e.inflight
 		}
 		e.inflightTo[d.to]++
 		e.inflightToCorrect++
@@ -451,12 +547,20 @@ func (e *engine) commitOne(t Step, p ProcID) {
 	case asleep && e.awake[p]:
 		e.awake[p] = false
 		e.awakeCorrect--
+		e.st.Sleeps++
+		if e.statsEvery > 0 {
+			e.interval.Sleeps++
+		}
 		if e.cfg.Trace != nil {
 			e.trace(TraceEvent{Kind: TraceSleep, Step: t, Proc: p, Other: -1})
 		}
 	case !asleep && !e.awake[p]:
 		e.awake[p] = true
 		e.awakeCorrect++
+		e.st.Wakes++
+		if e.statsEvery > 0 {
+			e.interval.Wakes++
+		}
 		if e.cfg.Trace != nil {
 			e.trace(TraceEvent{Kind: TraceWake, Step: t, Proc: p, Other: -1})
 		}
@@ -510,6 +614,10 @@ func (e *engine) stepParallel(t Step, due []ProcID) {
 func (e *engine) crashProcess(p ProcID) {
 	e.crashed[p] = true
 	e.crashCount++
+	e.st.Crashes++
+	if e.statsEvery > 0 {
+		e.interval.Crashes++
+	}
 	if e.awake[p] {
 		e.awake[p] = false
 		e.awakeCorrect--
@@ -567,7 +675,23 @@ func (e *engine) outcome() Outcome {
 	if e.cfg.KeepPerProcess {
 		o.PerProcessMsgs = append([]int64(nil), e.sent...)
 	}
+	o.Stats = e.stats()
 	return o
+}
+
+// stats seals the observability block: run-wide totals are copied from
+// the engine's authoritative counters, the scheduler contributes its heap
+// operation counts, and the per-kind send counters are sorted into a
+// stable order. Wall times are stamped by Run, after this returns.
+func (e *engine) stats() Stats {
+	st := e.st
+	st.Events = e.eventCount
+	st.Sends = e.msgTotal
+	st.HeapPushes = e.sched.pushes
+	st.HeapPops = e.sched.pops
+	st.MessagesByKind = append([]KindCount(nil), e.kinds...)
+	sortKinds(st.MessagesByKind)
+	return st
 }
 
 // snapshot computes a progress point for Config.Sample.

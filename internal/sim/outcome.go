@@ -52,6 +52,20 @@ type Outcome struct {
 	// PerProcessMsgs holds M_ρ(O) for each process, only when
 	// Config.KeepPerProcess was set (it is O(N) memory per outcome).
 	PerProcessMsgs []int64
+
+	// Stats is the engine's always-on observability block: event, message,
+	// scheduler and adversary-intervention counters, the optional interval
+	// series (Config.StatsEvery), and per-phase wall times. Every field
+	// except Stats.Wall is a pure function of (Config, Seed).
+	Stats Stats
+}
+
+// StripWall returns a copy of o with the wall times of the Stats block
+// zeroed. A run is a pure function of (Config, Seed) except for those
+// wall times; compare StripWall results when asserting reproducibility.
+func (o Outcome) StripWall() Outcome {
+	o.Stats = o.Stats.StripWall()
+	return o
 }
 
 func (o Outcome) String() string {

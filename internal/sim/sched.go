@@ -83,6 +83,11 @@ type scheduler struct {
 	// turns those repeated lookups into a comparison.
 	cacheAt Step
 	cache   *boundaryBucket
+
+	// pushes/pops count heap operations for Outcome.Stats — the engine's
+	// scheduling work, independent of protocol cost.
+	pushes int64
+	pops   int64
 }
 
 func (s *scheduler) init(n int) {
@@ -223,6 +228,7 @@ func (s *scheduler) dropBucket(at Step, b *boundaryBucket) {
 }
 
 func (s *scheduler) push(ev schedEvent) {
+	s.pushes++
 	s.heap = append(s.heap, ev)
 	h := s.heap
 	i := len(h) - 1
@@ -237,6 +243,7 @@ func (s *scheduler) push(ev schedEvent) {
 }
 
 func (s *scheduler) pop() schedEvent {
+	s.pops++
 	h := s.heap
 	top := h[0]
 	last := len(h) - 1

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"math/bits"
+	"sort"
+	"time"
+)
+
+// Stats is the engine's always-on observability block: cheap counters
+// maintained inline by the stepping loop and returned with every Outcome.
+// Counting is pure observation — it never touches a random stream or a
+// scheduling decision — so enabling, reading, or extending Stats cannot
+// change simulation outcomes, and every counter is bit-identical between
+// serial and parallel stepping (all counting happens in the serial commit
+// phases). Only Wall depends on the host machine.
+//
+// The counters are designed to cost a handful of integer operations per
+// engine event and to allocate nothing during the run: payload kinds are
+// counted through a small linear-probed slice (protocols use a handful of
+// kinds), and the optional interval series is appended to a pre-grown
+// slice.
+type Stats struct {
+	// Events is the number of engine events processed: local steps plus
+	// sends (the quantity Config.MaxEvents cuts off on).
+	Events int64
+	// ActiveSteps is the number of distinct global steps at which anything
+	// happened — the engine skips provably inert steps, so this is the
+	// true iteration count of the stepping loop, not Quiescence.
+	ActiveSteps int64
+	// LocalSteps is the number of protocol local steps executed.
+	LocalSteps int64
+	// Sends is the number of messages sent (== Outcome.Messages).
+	Sends int64
+	// Deliveries is the number of messages handed to a mailbox. It is ≤
+	// Sends: messages to crashed processes and omitted sends never arrive.
+	Deliveries int64
+	// DroppedCrashed counts messages dropped because the receiver had
+	// crashed — at send time or while the message was in flight.
+	DroppedCrashed int64
+	// OmittedSends counts sends suppressed by an omission adversary
+	// (Control.SetOmitFrom); they count in Sends but are never delivered.
+	OmittedSends int64
+
+	// HeapPushes and HeapPops count operations on the scheduler's
+	// event-time heap — the engine's scheduling work, independent of
+	// protocol cost.
+	HeapPushes int64
+	HeapPops   int64
+
+	// MaxInFlight is the high-water mark of messages simultaneously in
+	// flight (sent, not yet delivered or dropped).
+	MaxInFlight int64
+	// MaxPending is the high-water mark of messages sitting in mailboxes
+	// (delivered, not yet consumed by a local step).
+	MaxPending int64
+
+	// Sleeps and Wakes count falling-asleep and waking-up transitions.
+	Sleeps int64
+	Wakes  int64
+
+	// Adversary interventions by type. Crashes == Outcome.Crashed.
+	Crashes       int64
+	DeltaRewrites int64
+	DelayRewrites int64
+	OmitRewrites  int64
+
+	// MessagesByKind breaks Sends down by Payload.Kind(), sorted by kind.
+	MessagesByKind []KindCount
+
+	// Intervals is the optional per-interval series; empty unless
+	// Config.StatsEvery was set.
+	Intervals []IntervalStats
+
+	// Wall holds the real-time cost of the run's phases. It is the one
+	// non-deterministic part of Stats: exclude it when comparing runs.
+	Wall WallStats
+}
+
+// StripWall returns a copy of s with the wall times zeroed — the
+// deterministic projection of the block, equal bit for bit across reruns
+// of the same (Config, Seed) and across serial and parallel stepping.
+func (s Stats) StripWall() Stats {
+	s.Wall = WallStats{}
+	return s
+}
+
+// KindCount is one payload-kind counter of Stats.MessagesByKind.
+type KindCount struct {
+	Kind  string
+	Count int64
+}
+
+// WallStats breaks a run's wall-clock time down by phase.
+type WallStats struct {
+	// Init covers engine construction: allocating per-process state and
+	// building the protocol's N state machines.
+	Init time.Duration
+	// Run covers the stepping loop — deliveries, local steps, adversary
+	// observation — from the first event to quiescence or cutoff.
+	Run time.Duration
+	// Finalize covers outcome extraction, dominated by the O(N²)
+	// rumor-gathering check.
+	Finalize time.Duration
+}
+
+// delayHistBuckets is the size of the per-interval delivery-delay
+// histogram: bucket i counts sends whose delivery delay d (in global
+// steps) has bit length i+1, i.e. 2^i ≤ d < 2^(i+1), with the last bucket
+// absorbing everything larger. 48 buckets cover every delay an adversary
+// can express before Step overflows.
+const delayHistBuckets = 48
+
+// IntervalStats is one point of the optional dissemination/delay series
+// (Config.StatsEvery): activity counters for the global-step window
+// [Start, End), plus the system state at the window's close. The series
+// is the cheap, O(1)-per-event stand-in for Config.Sample's O(N²)
+// coverage snapshots — AwakeCorrect decaying to zero traces the
+// dissemination's settling, and DelayHist exposes how hard the adversary
+// is stretching deliveries.
+type IntervalStats struct {
+	// Start and End delimit the window: Start ≤ t < End.
+	Start, End Step
+	// Sends, Deliveries, Sleeps, Wakes and Crashes count the window's
+	// events, same meanings as the run-wide counters.
+	Sends      int64
+	Deliveries int64
+	Sleeps     int64
+	Wakes      int64
+	Crashes    int64
+	// AwakeCorrect and InFlight are the system state when the window
+	// closed.
+	AwakeCorrect int
+	InFlight     int64
+	// DelayHist is the log₂ histogram of the delivery delays of the
+	// window's sends (see delayHistBuckets).
+	DelayHist [delayHistBuckets]int64
+}
+
+// delayBucket maps a delivery delay to its DelayHist bucket.
+func delayBucket(d Step) int {
+	b := bits.Len64(uint64(d)) - 1
+	if b < 0 {
+		b = 0
+	}
+	if b >= delayHistBuckets {
+		b = delayHistBuckets - 1
+	}
+	return b
+}
+
+// active reports whether the window counted anything.
+func (iv *IntervalStats) active() bool {
+	return iv.Sends != 0 || iv.Deliveries != 0 || iv.Sleeps != 0 ||
+		iv.Wakes != 0 || iv.Crashes != 0
+}
+
+// Merge folds other into s: counters add, high-water marks take the
+// maximum, per-kind counts combine, and wall times accumulate. Interval
+// series are not merged — they describe one run's timeline — so s keeps
+// its own. Use it to aggregate the Stats of a sweep's outcomes.
+func (s *Stats) Merge(other *Stats) {
+	s.Events += other.Events
+	s.ActiveSteps += other.ActiveSteps
+	s.LocalSteps += other.LocalSteps
+	s.Sends += other.Sends
+	s.Deliveries += other.Deliveries
+	s.DroppedCrashed += other.DroppedCrashed
+	s.OmittedSends += other.OmittedSends
+	s.HeapPushes += other.HeapPushes
+	s.HeapPops += other.HeapPops
+	if other.MaxInFlight > s.MaxInFlight {
+		s.MaxInFlight = other.MaxInFlight
+	}
+	if other.MaxPending > s.MaxPending {
+		s.MaxPending = other.MaxPending
+	}
+	s.Sleeps += other.Sleeps
+	s.Wakes += other.Wakes
+	s.Crashes += other.Crashes
+	s.DeltaRewrites += other.DeltaRewrites
+	s.DelayRewrites += other.DelayRewrites
+	s.OmitRewrites += other.OmitRewrites
+	for _, kc := range other.MessagesByKind {
+		found := false
+		for i := range s.MessagesByKind {
+			if s.MessagesByKind[i].Kind == kc.Kind {
+				s.MessagesByKind[i].Count += kc.Count
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.MessagesByKind = append(s.MessagesByKind, kc)
+		}
+	}
+	sortKinds(s.MessagesByKind)
+	s.Wall.Init += other.Wall.Init
+	s.Wall.Run += other.Wall.Run
+	s.Wall.Finalize += other.Wall.Finalize
+}
+
+func sortKinds(kinds []KindCount) {
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].Kind < kinds[j].Kind })
+}

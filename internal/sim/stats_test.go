@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// kindTotal sums MessagesByKind.
+func kindTotal(kinds []KindCount) int64 {
+	var sum int64
+	for _, kc := range kinds {
+		sum += kc.Count
+	}
+	return sum
+}
+
+// TestStatsInvariants pins the cross-field consistency contract of the
+// always-on block on a representative adversarial run: the counters are
+// maintained at different engine layers (scheduler, delivery, commit,
+// adversary control), so their accounting identities catch a missed or
+// double-counted site.
+func TestStatsInvariants(t *testing.T) {
+	o := mustRun(t, Config{N: 30, F: 10, Protocol: chaosProto{}, Adversary: chaosAdversary{}, Seed: 11})
+	s := o.Stats
+	if s.Sends != o.Messages {
+		t.Errorf("Stats.Sends = %d, Outcome.Messages = %d — must agree", s.Sends, o.Messages)
+	}
+	if int(s.Crashes) != o.Crashed {
+		t.Errorf("Stats.Crashes = %d, Outcome.Crashed = %d — must agree", s.Crashes, o.Crashed)
+	}
+	if got := s.Deliveries + s.DroppedCrashed + s.OmittedSends; got != s.Sends {
+		t.Errorf("Deliveries(%d) + DroppedCrashed(%d) + OmittedSends(%d) = %d, want Sends = %d",
+			s.Deliveries, s.DroppedCrashed, s.OmittedSends, got, s.Sends)
+	}
+	if got := kindTotal(s.MessagesByKind); got != s.Sends {
+		t.Errorf("MessagesByKind sums to %d, want Sends = %d (%v)", got, s.Sends, s.MessagesByKind)
+	}
+	if s.Events != s.LocalSteps+s.Sends {
+		t.Errorf("Events = %d, want LocalSteps(%d) + Sends(%d)", s.Events, s.LocalSteps, s.Sends)
+	}
+	if s.HeapPushes < s.HeapPops || s.HeapPops == 0 {
+		t.Errorf("heap pushes %d / pops %d: pops must be positive and ≤ pushes", s.HeapPushes, s.HeapPops)
+	}
+	if s.ActiveSteps <= 0 || s.ActiveSteps > int64(o.Quiescence)+1 {
+		t.Errorf("ActiveSteps = %d, want in (0, Quiescence+1 = %d]", s.ActiveSteps, int64(o.Quiescence)+1)
+	}
+	if s.MaxInFlight <= 0 || s.MaxPending <= 0 {
+		t.Errorf("high-water marks MaxInFlight=%d MaxPending=%d, want > 0", s.MaxInFlight, s.MaxPending)
+	}
+	if s.Sleeps < int64(o.N-o.Crashed) {
+		t.Errorf("Sleeps = %d: every surviving process must sleep at least once (N-Crashed = %d)",
+			s.Sleeps, o.N-o.Crashed)
+	}
+	if s.Wall.Run <= 0 {
+		t.Errorf("Wall.Run = %v, want > 0", s.Wall.Run)
+	}
+	for i := 1; i < len(s.MessagesByKind); i++ {
+		if s.MessagesByKind[i-1].Kind >= s.MessagesByKind[i].Kind {
+			t.Errorf("MessagesByKind not sorted: %v", s.MessagesByKind)
+		}
+	}
+}
+
+// TestStatsOmissionAccounting: omitted sends must land in OmittedSends,
+// not Deliveries, and still count as Sends.
+func TestStatsOmissionAccounting(t *testing.T) {
+	omitAll := advFunc{
+		name: "omit-all",
+		init: func(v View, c Control) {
+			for p := ProcID(0); int(p) < v.N(); p++ {
+				c.SetOmitFrom(p, true)
+			}
+		},
+	}
+	o := mustRun(t, Config{N: 6, F: 0, Protocol: floodProto{}, Adversary: omitAll, Seed: 1})
+	s := o.Stats
+	if s.Sends == 0 || s.OmittedSends != s.Sends || s.Deliveries != 0 {
+		t.Errorf("omit-all: Sends=%d OmittedSends=%d Deliveries=%d, want all sends omitted",
+			s.Sends, s.OmittedSends, s.Deliveries)
+	}
+	if s.OmitRewrites != 6 {
+		t.Errorf("OmitRewrites = %d, want 6", s.OmitRewrites)
+	}
+}
+
+// TestStatsDeterministic: the whole block except Wall is a pure function
+// of (Config, Seed), bit-identical across reruns and worker counts.
+func TestStatsDeterministic(t *testing.T) {
+	base := Config{N: 40, F: 13, Protocol: chaosProto{}, Adversary: chaosAdversary{}, Seed: 7}
+	serial := mustRun(t, base)
+	for name, cfg := range map[string]Config{
+		"rerun":     base,
+		"workers-4": {N: 40, F: 13, Protocol: chaosProto{}, Adversary: chaosAdversary{}, Seed: 7, Workers: 4},
+	} {
+		got := mustRun(t, cfg)
+		if !reflect.DeepEqual(serial.Stats.StripWall(), got.Stats.StripWall()) {
+			t.Errorf("%s: Stats diverged:\nserial %+v\ngot    %+v", name, serial.Stats, got.Stats)
+		}
+	}
+}
+
+// TestStatsSinkNeutrality: attaching trace sinks or interval statistics
+// must not change the outcome or the run-wide counters — observation is
+// pure.
+func TestStatsSinkNeutrality(t *testing.T) {
+	base := Config{N: 25, F: 8, Protocol: chaosProto{}, Adversary: chaosAdversary{}, Seed: 3}
+	plain := mustRun(t, base)
+
+	traced := base
+	traced.Trace = &Recorder{}
+	got := mustRun(t, traced)
+	if !reflect.DeepEqual(plain.StripWall(), got.StripWall()) {
+		t.Errorf("trace sink changed the outcome:\n%+v\n%+v", plain, got)
+	}
+
+	sampled := base
+	sampled.StatsEvery = 4
+	got = mustRun(t, sampled)
+	if len(got.Stats.Intervals) == 0 {
+		t.Fatal("StatsEvery set but no intervals recorded")
+	}
+	got.Stats.Intervals = nil
+	if !reflect.DeepEqual(plain.StripWall(), got.StripWall()) {
+		t.Errorf("interval stats changed the outcome:\n%+v\n%+v", plain, got)
+	}
+}
+
+// TestStatsIntervals checks the optional series: windows are ordered and
+// disjoint, every window counted something (inert windows are dropped),
+// and the windows partition the run-wide activity counters exactly.
+func TestStatsIntervals(t *testing.T) {
+	o := mustRun(t, Config{
+		N: 30, F: 10, Protocol: chaosProto{}, Adversary: chaosAdversary{},
+		Seed: 5, StatsEvery: 8,
+	})
+	ivs := o.Stats.Intervals
+	if len(ivs) == 0 {
+		t.Fatal("no intervals")
+	}
+	var sends, deliveries, sleeps, wakes, crashes, hist int64
+	for i, iv := range ivs {
+		if iv.End <= iv.Start {
+			t.Errorf("interval %d: empty window [%d, %d)", i, iv.Start, iv.End)
+		}
+		if i > 0 && iv.Start < ivs[i-1].End {
+			t.Errorf("interval %d starts at %d, before previous end %d", i, iv.Start, ivs[i-1].End)
+		}
+		if !iv.active() {
+			t.Errorf("interval %d recorded nothing — inert windows must be dropped", i)
+		}
+		sends += iv.Sends
+		deliveries += iv.Deliveries
+		sleeps += iv.Sleeps
+		wakes += iv.Wakes
+		crashes += iv.Crashes
+		for _, c := range iv.DelayHist {
+			hist += c
+		}
+	}
+	s := o.Stats
+	if sends != s.Sends || deliveries != s.Deliveries || sleeps != s.Sleeps ||
+		wakes != s.Wakes || crashes != s.Crashes {
+		t.Errorf("interval sums (S=%d D=%d sl=%d w=%d c=%d) ≠ run totals (S=%d D=%d sl=%d w=%d c=%d)",
+			sends, deliveries, sleeps, wakes, crashes,
+			s.Sends, s.Deliveries, s.Sleeps, s.Wakes, s.Crashes)
+	}
+	if hist != sends {
+		t.Errorf("delay histogram counts %d sends, want %d", hist, sends)
+	}
+	if last := ivs[len(ivs)-1]; last.AwakeCorrect != 0 {
+		t.Errorf("final interval AwakeCorrect = %d, want 0 after quiescence", last.AwakeCorrect)
+	}
+}
+
+func TestDelayBucket(t *testing.T) {
+	cases := []struct {
+		d    Step
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1 << 20, 20}, {1<<62 + 5, delayHistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := delayBucket(c.d); got != c.want {
+			t.Errorf("delayBucket(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{
+		Events: 10, Sends: 4, MaxInFlight: 7, MaxPending: 2,
+		MessagesByKind: []KindCount{{"gossip", 3}, {"pull", 1}},
+		Wall:           WallStats{Run: 5},
+	}
+	b := Stats{
+		Events: 5, Sends: 2, MaxInFlight: 3, MaxPending: 9,
+		MessagesByKind: []KindCount{{"ack", 1}, {"gossip", 1}},
+		Wall:           WallStats{Run: 2},
+	}
+	a.Merge(&b)
+	if a.Events != 15 || a.Sends != 6 {
+		t.Errorf("counters did not add: %+v", a)
+	}
+	if a.MaxInFlight != 7 || a.MaxPending != 9 {
+		t.Errorf("high-water marks must take the max: %+v", a)
+	}
+	want := []KindCount{{"ack", 1}, {"gossip", 4}, {"pull", 1}}
+	if !reflect.DeepEqual(a.MessagesByKind, want) {
+		t.Errorf("MessagesByKind = %v, want %v", a.MessagesByKind, want)
+	}
+	if a.Wall.Run != 7 {
+		t.Errorf("Wall.Run = %v, want 7", a.Wall.Run)
+	}
+}
+
+// BenchmarkStatsOverheadBaseline exists to compare against the seed's
+// BenchmarkEngineLargeN numbers; the always-on counters must stay within
+// the noise band (see scripts/bench_gate.sh for the enforced gate).
+func BenchmarkStatsIntervalSeries(b *testing.B) {
+	cfg := Config{N: 500, F: 150, Protocol: chaosProto{}, Adversary: chaosAdversary{}, Seed: 9, StatsEvery: 16}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,7 +15,13 @@ const (
 	TraceWake                       // Proc resumed after sleeping
 	TraceAdversary                  // the adversary rewrote Proc's delta/delay (Note says which)
 	TraceEnd                        // the run ended (Note: "quiescence" or "horizon")
+
+	// traceKindCount is the number of trace kinds; keep it last.
+	traceKindCount
 )
+
+// NumTraceKinds is the number of distinct TraceKind values.
+const NumTraceKinds = int(traceKindCount)
 
 var traceKindNames = [...]string{
 	TraceSend:      "send",
@@ -33,6 +39,67 @@ func (k TraceKind) String() string {
 		return traceKindNames[k]
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseTraceKind resolves a kind name ("send", "arrive", "step", "crash",
+// "sleep", "wake", "adversary", "end") to its TraceKind. It is the inverse
+// of TraceKind.String, for CLI filter flags.
+func ParseTraceKind(name string) (TraceKind, bool) {
+	for k, n := range traceKindNames {
+		if n == name {
+			return TraceKind(k), true
+		}
+	}
+	return 0, false
+}
+
+// IsMessage reports whether the kind describes message traffic
+// (TraceSend, TraceArrive).
+func (k TraceKind) IsMessage() bool { return k == TraceSend || k == TraceArrive }
+
+// IsLifecycle reports whether the kind describes a process lifecycle
+// transition (TraceSleep, TraceWake, TraceCrash).
+func (k TraceKind) IsLifecycle() bool {
+	return k == TraceSleep || k == TraceWake || k == TraceCrash
+}
+
+// IsAdversarial reports whether the kind is an adversary intervention
+// (TraceCrash, TraceAdversary).
+func (k TraceKind) IsAdversarial() bool { return k == TraceCrash || k == TraceAdversary }
+
+// KindMask is a bit set of TraceKinds, used by trace filters.
+type KindMask uint16
+
+// AllKinds is the mask accepting every trace kind.
+const AllKinds = KindMask(1)<<traceKindCount - 1
+
+// MaskOf builds a mask from the given kinds.
+func MaskOf(kinds ...TraceKind) KindMask {
+	var m KindMask
+	for _, k := range kinds {
+		m |= 1 << k
+	}
+	return m
+}
+
+// Has reports whether the mask contains k.
+func (m KindMask) Has(k TraceKind) bool { return m&(1<<k) != 0 }
+
+// String renders the mask as a comma-separated kind list.
+func (m KindMask) String() string {
+	if m == AllKinds {
+		return "all"
+	}
+	s := ""
+	for k := TraceKind(0); k < traceKindCount; k++ {
+		if m.Has(k) {
+			if s != "" {
+				s += ","
+			}
+			s += k.String()
+		}
+	}
+	return s
 }
 
 // TraceEvent is one observable engine event. Payload is set only for
@@ -70,24 +137,32 @@ type TraceSink interface {
 }
 
 // Recorder is a TraceSink that appends every event to memory. It is meant
-// for tests and for the ugfsim CLI on small runs; recording a large run
-// will allocate proportionally to its event count.
+// for tests and for inspecting small runs programmatically; recording a
+// large run allocates proportionally to its event count. For anything
+// beyond a few million events, stream to disk instead with the JSONL sink
+// of the sim/trace package (re-exported by the ugf facade), optionally
+// behind a Filter.
 type Recorder struct {
 	Events []TraceEvent
+
+	// counts is maintained by Event so Count is O(1), not O(events).
+	counts [traceKindCount]int
 }
 
 // Event implements TraceSink.
-func (r *Recorder) Event(ev TraceEvent) { r.Events = append(r.Events, ev) }
+func (r *Recorder) Event(ev TraceEvent) {
+	r.Events = append(r.Events, ev)
+	if int(ev.Kind) < len(r.counts) {
+		r.counts[ev.Kind]++
+	}
+}
 
 // Count returns the number of events of the given kind.
 func (r *Recorder) Count(kind TraceKind) int {
-	n := 0
-	for _, ev := range r.Events {
-		if ev.Kind == kind {
-			n++
-		}
+	if int(kind) >= len(r.counts) {
+		return 0
 	}
-	return n
+	return r.counts[kind]
 }
 
 // FuncSink adapts a function to the TraceSink interface.

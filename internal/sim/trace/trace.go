@@ -1,0 +1,276 @@
+// Package trace provides streaming, filtering and fan-out TraceSinks for
+// the simulation engine.
+//
+// The engine's in-memory Recorder keeps every event alive until the run
+// ends, which caps it at small runs: a 10k-process dissemination emits
+// tens of millions of events. The JSONL sink here streams events through
+// a fixed-size buffer to any io.Writer instead, so a full trace costs RAM
+// proportional to the buffer, not the run — traces that cannot fit in
+// memory fit on disk. Filter drops uninteresting events before they are
+// encoded, and Multi fans one engine feed out to several consumers.
+//
+// All sinks are synchronous, like every TraceSink: the engine calls Event
+// from its stepping loop. The JSONL sink therefore never blocks on
+// anything but the underlying writer.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+// JSONL streams trace events as JSON Lines: one self-contained object per
+// event, in engine order. Writes go through a bufio.Writer, so the
+// per-event cost is an in-memory append; call Flush (or Close) to push
+// buffered lines out. Write errors are sticky: the first one is kept,
+// subsequent events are dropped, and Err/Flush/Close report it — the sink
+// never panics into the engine's stepping loop.
+type JSONL struct {
+	bw     *bufio.Writer
+	owned  io.Closer // closed by Close when the sink owns the writer (Create)
+	err    error
+	buf    []byte // per-line scratch, reused across events
+	events int64
+}
+
+// NewJSONL returns a JSONL sink writing to w. The caller keeps ownership
+// of w; Close flushes but does not close it.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{bw: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 128)}
+}
+
+// Create opens (truncating) the file at path and returns a JSONL sink
+// that owns it: Close flushes the buffer and closes the file.
+func Create(path string) (*JSONL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	j := NewJSONL(f)
+	j.owned = f
+	return j, nil
+}
+
+// Event implements sim.TraceSink.
+func (j *JSONL) Event(ev sim.TraceEvent) {
+	if j.err != nil {
+		return
+	}
+	b := j.buf[:0]
+	b = append(b, `{"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, `","step":`...)
+	b = strconv.AppendInt(b, int64(ev.Step), 10)
+	b = append(b, `,"proc":`...)
+	b = strconv.AppendInt(b, int64(ev.Proc), 10)
+	if ev.Other >= 0 {
+		b = append(b, `,"other":`...)
+		b = strconv.AppendInt(b, int64(ev.Other), 10)
+	}
+	if ev.Payload != nil {
+		b = append(b, `,"payload":`...)
+		b = appendJSONString(b, ev.Payload.Kind())
+	}
+	if ev.Note != "" {
+		b = append(b, `,"note":`...)
+		b = appendJSONString(b, ev.Note)
+	}
+	b = append(b, '}', '\n')
+	j.buf = b
+	if _, err := j.bw.Write(b); err != nil {
+		j.err = err
+		return
+	}
+	j.events++
+}
+
+// Events returns the number of events written so far.
+func (j *JSONL) Events() int64 { return j.events }
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error { return j.err }
+
+// Flush pushes buffered lines to the underlying writer.
+func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.bw.Flush()
+	return j.err
+}
+
+// Close flushes the buffer and, when the sink owns its writer (Create),
+// closes it. It returns the first error encountered over the sink's life.
+func (j *JSONL) Close() error {
+	err := j.Flush()
+	if j.owned != nil {
+		cerr := j.owned.Close()
+		j.owned = nil
+		if err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// appendJSONString appends s as a JSON string literal. Payload kinds and
+// engine notes are short ASCII identifiers, so the fast path is a direct
+// copy; anything unusual falls back to encoding/json.
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x80 {
+			enc, err := json.Marshal(s)
+			if err != nil {
+				return append(b, `"?"`...)
+			}
+			return append(b, enc...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// Record is the decoded form of one JSONL trace line.
+type Record struct {
+	Kind    string `json:"kind"`
+	Step    int64  `json:"step"`
+	Proc    int    `json:"proc"`
+	Other   int    `json:"other,omitempty"`
+	Payload string `json:"payload,omitempty"`
+	Note    string `json:"note,omitempty"`
+}
+
+// Read decodes a JSONL trace stream back into records, for tools and
+// tests. It streams, so traces larger than memory still decode — just not
+// into a slice you can hold; for those, wrap r in your own bufio.Scanner.
+func Read(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var recs []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return recs, nil
+		} else if err != nil {
+			return recs, fmt.Errorf("trace: line %d: %w", len(recs)+1, err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// Filter selects a subset of trace events: a kind mask, a process set,
+// and a step window. The zero value selects everything.
+type Filter struct {
+	// Kinds is the accepted kind set; 0 means all kinds.
+	Kinds sim.KindMask
+	// Procs restricts events to those whose Proc or Other is listed;
+	// empty means all processes. Run-level events (Proc < 0, e.g. the end
+	// marker) always pass.
+	Procs []sim.ProcID
+	// MinStep and MaxStep bound the step window, inclusive; MaxStep 0
+	// means unbounded.
+	MinStep, MaxStep sim.Step
+}
+
+// Match reports whether the filter accepts ev.
+func (f Filter) Match(ev sim.TraceEvent) bool {
+	if f.Kinds != 0 && !f.Kinds.Has(ev.Kind) {
+		return false
+	}
+	if ev.Step < f.MinStep || (f.MaxStep > 0 && ev.Step > f.MaxStep) {
+		return false
+	}
+	if len(f.Procs) > 0 && ev.Proc >= 0 {
+		for _, p := range f.Procs {
+			if ev.Proc == p || ev.Other == p {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// Sink wraps next so it only receives events the filter accepts. Large
+// process sets are compiled to a bitmap so the per-event cost stays O(1).
+func (f Filter) Sink(next sim.TraceSink) sim.TraceSink {
+	fs := &filterSink{f: f, next: next}
+	if len(f.Procs) > bitmapThreshold {
+		fs.procs = make(map[sim.ProcID]bool, len(f.Procs))
+		for _, p := range f.Procs {
+			fs.procs[p] = true
+		}
+	}
+	return fs
+}
+
+// bitmapThreshold is the process-set size above which Filter.Sink swaps
+// the linear scan for a set lookup.
+const bitmapThreshold = 8
+
+type filterSink struct {
+	f     Filter
+	procs map[sim.ProcID]bool
+	next  sim.TraceSink
+}
+
+func (fs *filterSink) Event(ev sim.TraceEvent) {
+	if fs.procs != nil {
+		f := fs.f
+		if f.Kinds != 0 && !f.Kinds.Has(ev.Kind) {
+			return
+		}
+		if ev.Step < f.MinStep || (f.MaxStep > 0 && ev.Step > f.MaxStep) {
+			return
+		}
+		if ev.Proc >= 0 && !fs.procs[ev.Proc] && !fs.procs[ev.Other] {
+			return
+		}
+	} else if !fs.f.Match(ev) {
+		return
+	}
+	fs.next.Event(ev)
+}
+
+// Close closes the wrapped sink, if it is closable.
+func (fs *filterSink) Close() error { return CloseSink(fs.next) }
+
+// Multi fans every event out to all sinks, in order. Closing the returned
+// sink closes each closable member, keeping the first error.
+func Multi(sinks ...sim.TraceSink) sim.TraceSink {
+	return multiSink(sinks)
+}
+
+type multiSink []sim.TraceSink
+
+func (m multiSink) Event(ev sim.TraceEvent) {
+	for _, s := range m {
+		s.Event(ev)
+	}
+}
+
+func (m multiSink) Close() error {
+	var first error
+	for _, s := range m {
+		if err := CloseSink(s); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CloseSink closes s if it is closable (JSONL, filtered or multi sinks,
+// file-backed custom sinks) and is a no-op otherwise. Run drivers call it
+// once a run's sink is out of use.
+func CloseSink(s sim.TraceSink) error {
+	if c, ok := s.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

@@ -2,30 +2,51 @@
 # bench.sh — run the engine benchmarks and record a JSON baseline.
 #
 # Usage:
-#   scripts/bench.sh [out.json] [benchtime]
+#   scripts/bench.sh [out.json] [benchtime] [baseline.json]
 #
 # Runs the scheduler-sensitive engine benchmarks (BenchmarkEngineLargeN,
 # BenchmarkEngineDelayHeavy in internal/sim, and the end-to-end benches at
 # the repo root) with allocation reporting, and writes the parsed results
-# as JSON rows to the output file (default BENCH_0.json). Compare runs
-# with `benchstat` or by diffing the JSON.
+# as JSON rows to the output file (default BENCH_0.json). Each benchmark
+# runs BENCH_COUNT times (default 3) and the minimum ns/op is recorded —
+# the standard noise-robust reading. With a baseline file (a previous run
+# of this script), each row additionally carries baseline_ns_per_op and
+# delta_pct — the ns/op change versus the baseline row of the same name.
+# Deltas across machines (or across a busy machine's moods) are
+# indicative only; scripts/bench_gate.sh benchmarks both sides in one
+# invocation and is the authoritative regression check.
 set -eu
 
 out="${1:-BENCH_0.json}"
 benchtime="${2:-10x}"
+baseline="${3:-}"
+count="${BENCH_COUNT:-3}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 cd "$(dirname "$0")/.."
 
 go test ./internal/sim/ -run '^$' -bench 'BenchmarkEngine(LargeN|DelayHeavy)' \
-	-benchtime "$benchtime" -timeout 1800s | tee "$tmp"
+	-benchtime "$benchtime" -count "$count" -timeout 1800s | tee "$tmp"
 go test . -run '^$' -bench 'Benchmark(EngineParallel|ProtocolRun|Strategy2KLDelayHeavy)' \
-	-benchtime "$benchtime" -timeout 1800s | tee -a "$tmp"
+	-benchtime "$benchtime" -count "$count" -timeout 1800s | tee -a "$tmp"
 
-# Parse `name  iters  N ns/op  N B/op  N allocs/op` lines into JSON rows.
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-BEGIN { print "[" }
+# Parse `name  iters  N ns/op  N B/op  N allocs/op` lines into JSON rows
+# (minimum ns/op per name across the -count repetitions), joining against
+# the baseline file's one-row-per-line format when given.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v basefile="$baseline" '
+BEGIN {
+	if (basefile != "") {
+		while ((getline line < basefile) > 0) {
+			if (match(line, /"name": "[^"]+"/)) {
+				name = substr(line, RSTART + 9, RLENGTH - 10)
+				if (match(line, /"ns_per_op": [0-9.]+/))
+					base[name] = substr(line, RSTART + 13, RLENGTH - 13)
+			}
+		}
+		close(basefile)
+	}
+}
 /^Benchmark/ {
 	ns = bytes = allocs = "null"
 	for (i = 3; i < NF; i++) {
@@ -33,10 +54,24 @@ BEGIN { print "[" }
 		if ($(i+1) == "B/op") bytes = $i
 		if ($(i+1) == "allocs/op") allocs = $i
 	}
-	if (n++) printf ",\n"
-	printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"date\": \"%s\"}", $1, $2, ns, bytes, allocs, date
+	if (!($1 in minNs)) { order[n++] = $1 }
+	if (!($1 in minNs) || (ns != "null" && ns + 0 < minNs[$1] + 0)) {
+		minNs[$1] = ns; rowIter[$1] = $2; rowBytes[$1] = bytes; rowAllocs[$1] = allocs
+	}
 }
-END { print "\n]" }
+END {
+	print "["
+	for (i = 0; i < n; i++) {
+		name = order[i]; ns = minNs[name]
+		if (i) printf ",\n"
+		printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
+			name, rowIter[name], ns, rowBytes[name], rowAllocs[name]
+		if ((name in base) && ns != "null" && base[name] > 0)
+			printf ", \"baseline_ns_per_op\": %s, \"delta_pct\": %.2f", base[name], 100 * (ns - base[name]) / base[name]
+		printf ", \"date\": \"%s\"}", date
+	}
+	print "\n]"
+}
 ' "$tmp" > "$out"
 
 echo "wrote $out"

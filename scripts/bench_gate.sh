@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# bench_gate.sh — fail if the always-on engine statistics (or anything
+# else) regressed the sparse-scheduling hot path by more than the budget.
+#
+# Usage:
+#   scripts/bench_gate.sh [max_regression_pct]
+#
+# Environment:
+#   BASELINE_REF   git ref to compare against (default: the last commit
+#                  before the observability counters, 6c991fe)
+#   BENCHTIME      go test -benchtime value (default 10x)
+#   BENCH_COUNT    repetitions; the gate takes the minimum ns/op of each
+#                  side, which is robust to scheduling noise (default 5)
+#
+# The gate checks BenchmarkEngineLargeN/ring/N=10000 — one active process
+# among 10k sleepers, so per-event bookkeeping cost has nowhere to hide —
+# by benchmarking HEAD and BASELINE_REF on the same machine in the same
+# invocation (a git worktree holds the baseline checkout). The two sides
+# run in BENCH_COUNT *alternating* rounds and each side keeps its minimum
+# ns/op: alternation cancels slow machine drift (a busy window hits both
+# sides), the minimum cancels per-round scheduling noise. Absolute
+# numbers from different machines are never compared.
+set -eu
+
+budget="${1:-5}"
+ref="${BASELINE_REF:-6c991fe}"
+benchtime="${BENCHTIME:-10x}"
+count="${BENCH_COUNT:-5}"
+bench='BenchmarkEngineLargeN/ring/N=10000'
+
+cd "$(dirname "$0")/.."
+worktree="$(mktemp -d)"
+trap 'git worktree remove --force "$worktree" 2>/dev/null || true; rm -rf "$worktree"' EXIT
+
+git worktree add --detach "$worktree" "$ref" >/dev/null
+
+one_round() {
+	# One ns/op sample of $bench in the package at $1.
+	(cd "$1" && go test ./internal/sim/ -run '^$' -bench "$bench" \
+		-benchtime "$benchtime" -timeout 1800s) |
+		awk '/^Benchmark/ { for (i = 3; i < NF; i++) if ($(i+1) == "ns/op") { print $i; exit } }'
+}
+
+echo "bench_gate: $bench, HEAD vs $ref, -benchtime $benchtime, $count alternating rounds"
+head_ns="" base_ns=""
+i=0
+while [ "$i" -lt "$count" ]; do
+	h="$(one_round .)"
+	b="$(one_round "$worktree")"
+	echo "bench_gate: round $((i + 1)): head $h ns/op, base $b ns/op"
+	[ -n "$head_ns" ] && [ "$(echo "$h $head_ns" | awk '{print ($1 < $2)}')" = 0 ] || head_ns="$h"
+	[ -n "$base_ns" ] && [ "$(echo "$b $base_ns" | awk '{print ($1 < $2)}')" = 0 ] || base_ns="$b"
+	i=$((i + 1))
+done
+
+awk -v head="$head_ns" -v base="$base_ns" -v budget="$budget" 'BEGIN {
+	delta = 100 * (head - base) / base
+	printf "bench_gate: baseline %.0f ns/op, head %.0f ns/op, delta %+.2f%% (budget +%s%%)\n",
+		base, head, delta, budget
+	if (delta > budget) {
+		print "bench_gate: FAIL — hot path regressed beyond the budget"
+		exit 1
+	}
+	print "bench_gate: OK"
+}'

@@ -42,10 +42,13 @@
 package ugf
 
 import (
+	"io"
+
 	"github.com/ugf-sim/ugf/internal/adversary"
 	"github.com/ugf-sim/ugf/internal/core"
 	"github.com/ugf-sim/ugf/internal/gossip"
 	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/sim/trace"
 )
 
 // Simulation engine types (see internal/sim for full documentation).
@@ -85,11 +88,76 @@ type (
 	TraceSink = sim.TraceSink
 	// TraceEvent is one observable engine event.
 	TraceEvent = sim.TraceEvent
-	// Recorder is an in-memory TraceSink.
+	// TraceKind classifies trace events.
+	TraceKind = sim.TraceKind
+	// KindMask is a bit set of TraceKinds for trace filtering.
+	KindMask = sim.KindMask
+	// Recorder is an in-memory TraceSink for tests and small runs; stream
+	// large runs to disk with NewJSONLTrace/CreateJSONLTrace instead.
 	Recorder = sim.Recorder
+	// FuncSink adapts a function to the TraceSink interface.
+	FuncSink = sim.FuncSink
 	// Snapshot is a point on the dissemination curve (Config.Sample).
 	Snapshot = sim.Snapshot
+	// Stats is the engine's always-on per-run observability block (see
+	// Outcome.Stats): scheduler, message, lifecycle and adversary counters,
+	// all deterministic except Stats.Wall.
+	Stats = sim.Stats
+	// KindCount is one payload-kind counter of Stats.MessagesByKind.
+	KindCount = sim.KindCount
+	// IntervalStats is one window of the optional per-interval series
+	// (Config.StatsEvery).
+	IntervalStats = sim.IntervalStats
+	// WallStats is a run's wall-clock cost by phase.
+	WallStats = sim.WallStats
+	// JSONLTrace is the streaming JSONL TraceSink of sim/trace: full traces
+	// of large runs go to disk instead of RAM.
+	JSONLTrace = trace.JSONL
+	// TraceRecord is the decoded form of one JSONL trace line.
+	TraceRecord = trace.Record
+	// TraceFilter selects trace events by kind, process, and step window.
+	TraceFilter = trace.Filter
 )
+
+// Trace event kinds (sim.TraceSend etc. re-exported).
+const (
+	TraceSend      = sim.TraceSend
+	TraceArrive    = sim.TraceArrive
+	TraceLocalStep = sim.TraceLocalStep
+	TraceCrash     = sim.TraceCrash
+	TraceSleep     = sim.TraceSleep
+	TraceWake      = sim.TraceWake
+	TraceAdversary = sim.TraceAdversary
+	TraceEnd       = sim.TraceEnd
+)
+
+// AllKinds is the KindMask accepting every trace kind.
+const AllKinds = sim.AllKinds
+
+// MaskOf builds a KindMask from the given kinds.
+func MaskOf(kinds ...TraceKind) KindMask { return sim.MaskOf(kinds...) }
+
+// ParseTraceKind resolves a kind name ("send", "arrive", …) to its
+// TraceKind — the inverse of TraceKind.String, for CLI filter flags.
+func ParseTraceKind(name string) (TraceKind, bool) { return sim.ParseTraceKind(name) }
+
+// NewJSONLTrace returns a streaming JSONL trace sink writing to w; the
+// caller keeps ownership of w.
+func NewJSONLTrace(w io.Writer) *JSONLTrace { return trace.NewJSONL(w) }
+
+// CreateJSONLTrace opens (truncating) the file at path and returns a JSONL
+// trace sink that owns it: Close flushes and closes the file.
+func CreateJSONLTrace(path string) (*JSONLTrace, error) { return trace.Create(path) }
+
+// ReadTrace decodes a JSONL trace stream back into records.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) { return trace.Read(r) }
+
+// MultiTrace fans every event out to all sinks, in order.
+func MultiTrace(sinks ...TraceSink) TraceSink { return trace.Multi(sinks...) }
+
+// CloseTrace closes a sink if it is closable (JSONL and filtered sinks
+// are) and is a no-op otherwise.
+func CloseTrace(s TraceSink) error { return trace.CloseSink(s) }
 
 // The all-to-all gossip protocols of the paper's evaluation plus the
 // baselines and extensions (see internal/gossip).
@@ -158,35 +226,9 @@ func ProtocolNames() []string { return gossip.Names() }
 // AdversaryByName looks an adversary up by name: "none" (nil), "ugf"
 // (the paper's fixed k = l = 1 setting), "ugf-sampled" (ζ(2)-sampled
 // exponents), "strategy-1", "strategy-2.1.0", "strategy-2.1.1",
-// "oblivious", or "omission".
-func AdversaryByName(name string) (Adversary, bool) {
-	switch name {
-	case "none":
-		return nil, true
-	case "ugf":
-		return UGF{FixedK: 1, FixedL: 1}, true
-	case "ugf-sampled":
-		return UGF{}, true
-	case "strategy-1":
-		return Strategy1{}, true
-	case "strategy-2.1.0":
-		return Strategy2K0{}, true
-	case "strategy-2.1.1":
-		return Strategy2KL{}, true
-	case "oblivious":
-		return Oblivious{}, true
-	case "omission":
-		return Omission{}, true
-	default:
-		return nil, false
-	}
-}
+// "oblivious", or "omission". It is adversary.ByName re-exported,
+// mirroring ProtocolByName.
+func AdversaryByName(name string) (Adversary, bool) { return adversary.ByName(name) }
 
 // AdversaryNames lists the names AdversaryByName accepts.
-func AdversaryNames() []string {
-	return []string{
-		"none", "ugf", "ugf-sampled",
-		"strategy-1", "strategy-2.1.0", "strategy-2.1.1",
-		"oblivious", "omission",
-	}
-}
+func AdversaryNames() []string { return adversary.Names() }
