@@ -123,8 +123,8 @@ func TestErrors(t *testing.T) {
 		{"-exp", "bogus"},
 		{"-fidelity", "bogus"},
 		{"-not-a-flag"},
-		{"-resume"},                       // -resume without -out has no journal to resume from
-		{"-tracekinds", "send"},           // -tracekinds without -trace has nothing to filter
+		{"-resume"},                             // -resume without -out has no journal to resume from
+		{"-tracekinds", "send"},                 // -tracekinds without -trace has nothing to filter
 		{"-trace", ".", "-tracekinds", "bogus"}, // unknown trace kind
 	}
 	for _, args := range cases {

@@ -1,0 +1,179 @@
+package ugf_test
+
+// Extended golden matrix: whole-outcome hashes for the configuration
+// corners the generated property suite (internal/simtest) surfaced as
+// untouched by the original 60-case table — the omission and ζ(2)-sampled
+// UGF adversaries, crash-heavy budgets (F = N/2), the protocols outside
+// the paper's headline five, and runs with the StatsEvery interval series
+// enabled. Where golden_test.go pins six summary fields per case, each
+// row here pins an FNV-64a hash of the run's entire deterministic outcome
+// (o.StripWall(), JSON-encoded) — every Stats counter, the interval
+// series, the delay histograms, and the per-process message counts all
+// feed the hash, so an engine change that shifts any of them by one
+// lands here even if M(O) and T_end happen to survive.
+//
+// Seeds derive from the case index like the base table (offset 5000), so
+// the matrix is append-only. Regenerate with:
+//
+//	UGF_GOLDEN_PRINT=1 go test -run TestGoldenExtPrint -v .
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"testing"
+
+	"github.com/ugf-sim/ugf"
+)
+
+type goldenExtCase struct {
+	proto      string
+	adv        string
+	n, f       int
+	statsEvery ugf.Step
+}
+
+// goldenExtMatrix crosses the under-covered protocols with the
+// under-covered adversaries at a crash-heavy budget, alternating the
+// interval series on and off. Append only.
+func goldenExtMatrix() []goldenExtCase {
+	pairs := []struct {
+		adv        string
+		statsEvery ugf.Step
+	}{
+		{adv: "omission", statsEvery: 16},
+		{adv: "omission", statsEvery: 0},
+		{adv: "ugf-sampled", statsEvery: 16},
+		{adv: "ugf", statsEvery: 8},
+	}
+	var cases []goldenExtCase
+	for _, size := range []struct{ n, f int }{{16, 8}, {48, 24}} {
+		for _, proto := range []string{"push", "pull", "doubling", "adaptive", "budget-capped"} {
+			for _, pa := range pairs {
+				cases = append(cases, goldenExtCase{
+					proto: proto, adv: pa.adv, n: size.n, f: size.f, statsEvery: pa.statsEvery,
+				})
+			}
+		}
+	}
+	return cases
+}
+
+func goldenExtConfig(t testing.TB, c goldenExtCase, idx, workers int) ugf.Config {
+	t.Helper()
+	proto, ok := ugf.ProtocolByName(c.proto)
+	if !ok {
+		t.Fatalf("unknown protocol %q", c.proto)
+	}
+	adv, ok := ugf.AdversaryByName(c.adv)
+	if !ok {
+		t.Fatalf("unknown adversary %q", c.adv)
+	}
+	return ugf.Config{
+		N: c.n, F: c.f, Protocol: proto, Adversary: adv,
+		Seed:           uint64(5000 + idx),
+		Workers:        workers,
+		StatsEvery:     c.statsEvery,
+		KeepPerProcess: true,
+	}
+}
+
+// outcomeHash collapses the deterministic projection of an outcome to an
+// FNV-64a hash of its JSON encoding. JSON (unlike %+v, which would stop
+// at Outcome's String method) renders every exported field of the
+// outcome and its nested Stats — counters, interval series, delay
+// histograms, per-process counts — so the hash moves with any of them;
+// FNV-64a keeps the pinned table one short hex word per case.
+func outcomeHash(t testing.TB, o ugf.Outcome) string {
+	t.Helper()
+	enc, err := json.Marshal(o.StripWall())
+	if err != nil {
+		t.Fatalf("marshal outcome: %v", err)
+	}
+	h := fnv.New64a()
+	h.Write(enc)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func TestGoldenExtOutcomes(t *testing.T) {
+	cases := goldenExtMatrix()
+	if len(cases) != len(goldenExtHashes) {
+		t.Fatalf("matrix has %d cases but table has %d hashes — regenerate with UGF_GOLDEN_PRINT=1",
+			len(cases), len(goldenExtHashes))
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			for i, c := range cases {
+				o, err := ugf.Run(goldenExtConfig(t, c, i, workers))
+				if err != nil {
+					t.Fatalf("case %d (%s/%s N=%d): %v", i, c.proto, c.adv, c.n, err)
+				}
+				if got := outcomeHash(t, o); got != goldenExtHashes[i] {
+					t.Errorf("case %d (%s/%s N=%d F=%d statsEvery=%d seed=%d): outcome hash %s, want %s",
+						i, c.proto, c.adv, c.n, c.f, c.statsEvery, 5000+i, got, goldenExtHashes[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenExtPrint regenerates the hash table; see the file comment.
+func TestGoldenExtPrint(t *testing.T) {
+	if os.Getenv("UGF_GOLDEN_PRINT") == "" {
+		t.Skip("set UGF_GOLDEN_PRINT=1 to regenerate the extended golden table")
+	}
+	for i, c := range goldenExtMatrix() {
+		o, err := ugf.Run(goldenExtConfig(t, c, i, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("\t%q, // %d: %s/%s N=%d F=%d statsEvery=%d\n",
+			outcomeHash(t, o), i, c.proto, c.adv, c.n, c.f, c.statsEvery)
+	}
+}
+
+// goldenExtHashes holds outcomeHash per case, in goldenExtMatrix order.
+var goldenExtHashes = []string{
+	"9b206dd207353cfa", // 0: push/omission N=16 F=8 statsEvery=16
+	"6b2f3424b6743a6b", // 1: push/omission N=16 F=8 statsEvery=0
+	"fd49beaa18ebf8b1", // 2: push/ugf-sampled N=16 F=8 statsEvery=16
+	"e2347068c69e8cb0", // 3: push/ugf N=16 F=8 statsEvery=8
+	"7d8ad2eff6daac54", // 4: pull/omission N=16 F=8 statsEvery=16
+	"765f001bb7d308f5", // 5: pull/omission N=16 F=8 statsEvery=0
+	"f26bafc10fa0e2e5", // 6: pull/ugf-sampled N=16 F=8 statsEvery=16
+	"f0006b9aa0097d55", // 7: pull/ugf N=16 F=8 statsEvery=8
+	"5fa80e6244ea6de2", // 8: doubling/omission N=16 F=8 statsEvery=16
+	"521105e3a50b9a3e", // 9: doubling/omission N=16 F=8 statsEvery=0
+	"5aff88c9cfb9d351", // 10: doubling/ugf-sampled N=16 F=8 statsEvery=16
+	"a90f76c15a3e53c7", // 11: doubling/ugf N=16 F=8 statsEvery=8
+	"0483045360f2894b", // 12: adaptive/omission N=16 F=8 statsEvery=16
+	"6c434433517710a3", // 13: adaptive/omission N=16 F=8 statsEvery=0
+	"f5b75285be2c25a4", // 14: adaptive/ugf-sampled N=16 F=8 statsEvery=16
+	"f1066edb005d7fc5", // 15: adaptive/ugf N=16 F=8 statsEvery=8
+	"9c863c1acd677e73", // 16: budget-capped/omission N=16 F=8 statsEvery=16
+	"fa1b968055211fc9", // 17: budget-capped/omission N=16 F=8 statsEvery=0
+	"4160a1770bf84eb9", // 18: budget-capped/ugf-sampled N=16 F=8 statsEvery=16
+	"71932c29be6750c9", // 19: budget-capped/ugf N=16 F=8 statsEvery=8
+	"ca1c498e8becc337", // 20: push/omission N=48 F=24 statsEvery=16
+	"1e31fc0ab6439c08", // 21: push/omission N=48 F=24 statsEvery=0
+	"887449dcdb94329c", // 22: push/ugf-sampled N=48 F=24 statsEvery=16
+	"b08dc1fd9a4ee199", // 23: push/ugf N=48 F=24 statsEvery=8
+	"35c22592fd37bbcf", // 24: pull/omission N=48 F=24 statsEvery=16
+	"4db439150bcc6342", // 25: pull/omission N=48 F=24 statsEvery=0
+	"a46d276d2b4659b2", // 26: pull/ugf-sampled N=48 F=24 statsEvery=16
+	"8a0a54db55f3cca5", // 27: pull/ugf N=48 F=24 statsEvery=8
+	"b99e14af1d680a73", // 28: doubling/omission N=48 F=24 statsEvery=16
+	"0fe579a101c0fde3", // 29: doubling/omission N=48 F=24 statsEvery=0
+	"3aa8b3e581d6e1f4", // 30: doubling/ugf-sampled N=48 F=24 statsEvery=16
+	"da190c837f00b018", // 31: doubling/ugf N=48 F=24 statsEvery=8
+	"adf7d999f5a9119b", // 32: adaptive/omission N=48 F=24 statsEvery=16
+	"2fad686bdb310074", // 33: adaptive/omission N=48 F=24 statsEvery=0
+	"495878e97a1223fd", // 34: adaptive/ugf-sampled N=48 F=24 statsEvery=16
+	"445f970e8b5d2294", // 35: adaptive/ugf N=48 F=24 statsEvery=8
+	"75fa7b4600bdc26b", // 36: budget-capped/omission N=48 F=24 statsEvery=16
+	"53c11a259f934aa8", // 37: budget-capped/omission N=48 F=24 statsEvery=0
+	"ab33563a077ebbe0", // 38: budget-capped/ugf-sampled N=48 F=24 statsEvery=16
+	"eb0facabf50c721b", // 39: budget-capped/ugf N=48 F=24 statsEvery=8
+}

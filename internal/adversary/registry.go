@@ -51,11 +51,11 @@ var names = []string{
 var registry = map[string]sim.Adversary{
 	// The paper's Section V-A3 setting fixes both exponents to 1; the
 	// sampled variant draws them from ζ(2) as Algorithm 1 specifies.
-	"ugf":            core.UGF{FixedK: 1, FixedL: 1},
-	"ugf-sampled":    core.UGF{},
-	"strategy-1":     core.Strategy1{},
-	"strategy-2.1.0": core.Strategy2K0{},
-	"strategy-2.1.1": core.Strategy2KL{},
+	"ugf":                core.UGF{FixedK: 1, FixedL: 1},
+	"ugf-sampled":        core.UGF{},
+	"strategy-1":         core.Strategy1{},
+	"strategy-2.1.0":     core.Strategy2K0{},
+	"strategy-2.1.1":     core.Strategy2KL{},
 	(Oblivious{}).Name(): Oblivious{},
 	(Omission{}).Name():  Omission{},
 }

@@ -1,0 +1,25 @@
+package runner
+
+import "testing"
+
+// FuzzJournalTornTail appends an arbitrary byte tail to a journal holding
+// two valid records and asserts the resume load neither fails nor loses
+// them — the journal's crash-tolerance contract says a torn final write
+// costs at most the line being written, never the records before it.
+// The seed corpus is the torn-tail table of journal_torn_test.go plus the
+// checked-in testdata/fuzz files.
+func FuzzJournalTornTail(f *testing.F) {
+	for _, tail := range tornTails() {
+		f.Add(tail)
+	}
+	f.Fuzz(func(t *testing.T, tail []byte) {
+		if len(tail) > 1<<20 {
+			// The loader's line buffer tops out at 16 MiB; a single
+			// megaline is already far past any real torn write, and giant
+			// inputs only slow the fuzzer down.
+			t.Skip("tail too large")
+		}
+		path, o, re := writeTornJournal(t)
+		checkTornResume(t, path, tail, o, re)
+	})
+}

@@ -1,0 +1,113 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+// tornTails is the catalogue of corrupt journal endings the loader must
+// shrug off: half-written lines from a crash mid-append, binary garbage,
+// and well-formed JSON of the wrong shape. It doubles as the seed corpus
+// of FuzzJournalTornTail.
+func tornTails() [][]byte {
+	return [][]byte{
+		[]byte(`{"fp":"dead","spec":"a","run":9,"outc`),             // torn mid-key
+		[]byte(`{"fp":"dead","spec":"a","run":9,"outcome":{"N":5`),  // torn mid-nested-object
+		[]byte(`{"fp":"dead","spec":"a","run":9,"outcome":{"N":5}`), // complete object, no newline
+		[]byte("{"),                                       // minimal torn line
+		[]byte("\x00\x01\x02garbage\xff\xfe"),             // binary garbage
+		[]byte("null\n"),                                  // valid JSON, decodes to an empty record
+		[]byte("\"just a string\"\n"),                     // valid JSON, wrong type
+		[]byte("[1,2,3]\n"),                               // valid JSON, wrong shape
+		[]byte(`{"fp":"dead","spec":"x","run":1}` + "\n"), // record with neither outcome nor error
+		[]byte("\n\n\n"),                                  // stray blank lines
+		[]byte(`{"fp":"dead","run":2,"outc` + "\n" + `{"fp":"also","ru`), // two torn lines
+		{}, // empty tail
+	}
+}
+
+// tornSpec is the spec the torn-tail tests journal runs under. The
+// protocol may be nil: Fingerprint only formats it, and these tests never
+// execute the spec.
+func tornSpec() Spec {
+	return Spec{Name: "torn", Base: sim.Config{N: 4, F: 1}, Runs: 2, BaseSeed: 3}
+}
+
+// writeTornJournal creates a journal holding one outcome and one
+// deterministic failure for tornSpec, and returns its path plus the
+// recorded values.
+func writeTornJournal(t testing.TB) (path string, o sim.Outcome, re *RunError) {
+	t.Helper()
+	path = filepath.Join(t.TempDir(), "runs.jsonl")
+	spec := tornSpec()
+	o = sim.Outcome{Protocol: "p", Adversary: "none", N: 4, F: 1, Seed: 9, TEnd: 17,
+		Quiescence: 21, Messages: 33, Time: 1.75, Gathered: true}
+	re = &RunError{Spec: spec.Name, Run: 1, Seed: 4, Panic: "boom", Deterministic: true}
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(spec, 0, &o, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(spec, 1, nil, re); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, o, re
+}
+
+// checkTornResume appends tail to the journal at path and asserts that a
+// resume load still serves both recorded runs, byte-identically.
+func checkTornResume(t testing.TB, path string, tail []byte, o sim.Outcome, re *RunError) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(tail); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatalf("resume load failed on tail %q: %v", tail, err)
+	}
+	defer j.Close()
+	spec := tornSpec()
+	got, gotErr, ok := j.Lookup(spec, 0)
+	if !ok || gotErr != nil {
+		t.Fatalf("tail %q: run 0 lost (ok=%v err=%v)", tail, ok, gotErr)
+	}
+	if !reflect.DeepEqual(got, o) {
+		t.Errorf("tail %q: run 0 outcome changed: got %+v want %+v", tail, got, o)
+	}
+	_, gotRe, ok := j.Lookup(spec, 1)
+	if !ok || gotRe == nil {
+		t.Fatalf("tail %q: run 1 failure lost (ok=%v)", tail, ok)
+	}
+	if !reflect.DeepEqual(gotRe, re) {
+		t.Errorf("tail %q: run 1 error changed: got %+v want %+v", tail, gotRe, re)
+	}
+}
+
+// TestJournalTornTailTable drives every catalogued corruption through the
+// load path. The existing TestJournalToleratesTornTail covers the
+// end-to-end ExecuteContext flow for one tail; this table pins the loader
+// itself against the whole corpus that seeds the fuzz target.
+func TestJournalTornTailTable(t *testing.T) {
+	for i, tail := range tornTails() {
+		path, o, re := writeTornJournal(t)
+		checkTornResume(t, path, tail, o, re)
+		_ = i
+	}
+}

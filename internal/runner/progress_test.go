@@ -276,4 +276,3 @@ func TestProgressETADiscountsJournal(t *testing.T) {
 		t.Fatalf("ETA %v vs elapsed %v: journal runs not discounted (ratio %.2f)", s.ETA, s.Elapsed, ratio)
 	}
 }
-

@@ -42,111 +42,109 @@ type AdversaryInstance interface {
 	Label() string
 }
 
-// View is the adversary's read-only window onto the system state P_t.
-// The zero value is unusable; views are handed out by the engine.
-type View struct {
-	e *engine
+// System is the engine surface View and Control operate on. It exists so
+// that adversaries — whose Init/Observe signatures take the concrete View
+// and Control types — can drive more than one engine implementation: the
+// production engine here and the naive differential-testing reference in
+// sim/oracle both implement it. Implementations own the semantics of each
+// operation (budget enforcement, re-anchoring, intervention counting);
+// View and Control are thin, stable wrappers.
+type System interface {
+	// NumProcs returns N, CrashBudget returns F.
+	NumProcs() int
+	CrashBudget() int
+	// Now returns the current global step (0 during adversary Init).
+	Now() Step
+	// Crashed reports whether p has been crashed; Asleep whether p is
+	// currently asleep (false for crashed processes).
+	Crashed(p ProcID) bool
+	Asleep(p ProcID) bool
+	// SentCount returns M_ρ of the execution prefix.
+	SentCount(p ProcID) int64
+	// Delta and Delay return p's current δ_ρ and d_ρ.
+	Delta(p ProcID) Step
+	Delay(p ProcID) Step
+	// CrashCount returns the number of processes crashed so far.
+	CrashCount() int
+	// Crash fails p now (Definition II.5), reporting whether it happened;
+	// it must refuse out-of-range, already-crashed, and budget-exhausted
+	// requests. SetDelta/SetDelay rewrite δ_p/d_p (≥ 1, panicking
+	// otherwise); SetOmitFrom toggles omission of p's sends.
+	Crash(p ProcID) bool
+	SetDelta(p ProcID, v Step)
+	SetDelay(p ProcID, v Step)
+	SetOmitFrom(p ProcID, omit bool)
 }
 
+// View is the adversary's read-only window onto the system state P_t.
+// The zero value is unusable; views are handed out by the run's engine.
+type View struct {
+	sys System
+}
+
+// NewView wraps an engine implementation in the adversary-facing read
+// view. Engines call it when invoking AdversaryInstance.Init/Observe.
+func NewView(sys System) View { return View{sys: sys} }
+
 // N returns the total number of processes.
-func (v View) N() int { return v.e.n }
+func (v View) N() int { return v.sys.NumProcs() }
 
 // F returns the crash budget.
-func (v View) F() int { return v.e.cfg.F }
+func (v View) F() int { return v.sys.CrashBudget() }
 
 // Now returns the current global step (0 during Init).
-func (v View) Now() Step { return v.e.now }
+func (v View) Now() Step { return v.sys.Now() }
 
 // Crashed reports whether p has been crashed.
-func (v View) Crashed(p ProcID) bool { return v.e.crashed[p] }
+func (v View) Crashed(p ProcID) bool { return v.sys.Crashed(p) }
 
 // Asleep reports whether p is currently asleep (false for crashed
 // processes, which are not asleep but gone).
-func (v View) Asleep(p ProcID) bool { return !v.e.crashed[p] && !v.e.awake[p] }
+func (v View) Asleep(p ProcID) bool { return v.sys.Asleep(p) }
 
 // SentCount returns the number of messages p has sent so far — M_ρ of the
 // execution prefix, which Strategy 2.k.0's t_{F/2} threshold is defined on.
-func (v View) SentCount(p ProcID) int64 { return v.e.sent[p] }
+func (v View) SentCount(p ProcID) int64 { return v.sys.SentCount(p) }
 
 // Delta returns p's current local step time δ_ρ.
-func (v View) Delta(p ProcID) Step { return v.e.delta[p] }
+func (v View) Delta(p ProcID) Step { return v.sys.Delta(p) }
 
 // Delay returns p's current delivery time d_ρ.
-func (v View) Delay(p ProcID) Step { return v.e.delay[p] }
+func (v View) Delay(p ProcID) Step { return v.sys.Delay(p) }
 
 // CorrectCount returns the number of processes that have not crashed.
-func (v View) CorrectCount() int { return v.e.n - v.e.crashCount }
+func (v View) CorrectCount() int { return v.sys.NumProcs() - v.sys.CrashCount() }
 
 // Control is the adversary's write access to the system: crashes and
 // delay rewrites. It enforces the crash budget F.
 type Control struct {
-	e *engine
+	sys System
 }
+
+// NewControl wraps an engine implementation in the adversary-facing write
+// handle, mirroring NewView.
+func NewControl(sys System) Control { return Control{sys: sys} }
 
 // Crash fails process p immediately: it takes no further local steps and
 // every undelivered message bound for it is discarded. Crash reports
 // whether the crash happened; it returns false when p is out of range,
 // already crashed, or the budget F is exhausted.
-func (c Control) Crash(p ProcID) bool {
-	e := c.e
-	if p < 0 || int(p) >= e.n || e.crashed[p] || e.crashCount >= e.cfg.F {
-		return false
-	}
-	e.crashProcess(p)
-	return true
-}
+func (c Control) Crash(p ProcID) bool { return c.sys.Crash(p) }
 
 // SetDelta rewrites δ_p to v (≥ 1) and re-anchors p's local-step schedule
 // at the current step: p's next local step is Now + v.
-func (c Control) SetDelta(p ProcID, v Step) {
-	e := c.e
-	if p < 0 || int(p) >= e.n {
-		panic("sim: SetDelta on process out of range")
-	}
-	if v < 1 {
-		panic("sim: SetDelta with non-positive step time")
-	}
-	e.st.DeltaRewrites++
-	e.delta[p] = v
-	e.anchor[p] = e.now
-	if e.sched.scheduledAt(p) != noSchedule {
-		// Schedulable process: its next boundary moved to now + v.
-		// Crashed or sleeping processes stay out of the index; a later
-		// wake-up arrival reads the rewritten anchor/δ.
-		e.sched.scheduleProc(p, e.now+v)
-	}
-	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "delta"})
-}
+func (c Control) SetDelta(p ProcID, v Step) { c.sys.SetDelta(p, v) }
 
 // SetDelay rewrites d_p to v (≥ 1). Only messages sent after the rewrite
 // are affected; in-flight messages keep the delivery time stamped at send.
-func (c Control) SetDelay(p ProcID, v Step) {
-	e := c.e
-	if p < 0 || int(p) >= e.n {
-		panic("sim: SetDelay on process out of range")
-	}
-	if v < 1 {
-		panic("sim: SetDelay with non-positive delivery time")
-	}
-	e.st.DelayRewrites++
-	e.delay[p] = v
-	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "delay"})
-}
+func (c Control) SetDelay(p ProcID, v Step) { c.sys.SetDelay(p, v) }
 
 // BudgetLeft returns how many more processes may be crashed.
-func (c Control) BudgetLeft() int { return c.e.cfg.F - c.e.crashCount }
+func (c Control) BudgetLeft() int { return c.sys.CrashBudget() - c.sys.CrashCount() }
 
 // SetOmitFrom controls message omission for p: while enabled, every
 // message p sends is counted in M(O) and visible in the send records, but
 // never delivered — the network silently drops it. This models the
 // stronger omission adversary the paper raises as future work
 // (Section VII); the delay-only adversaries never use it.
-func (c Control) SetOmitFrom(p ProcID, omit bool) {
-	e := c.e
-	if p < 0 || int(p) >= e.n {
-		panic("sim: SetOmitFrom on process out of range")
-	}
-	e.st.OmitRewrites++
-	e.omitted[p] = omit
-	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "omit"})
-}
+func (c Control) SetOmitFrom(p ProcID, omit bool) { c.sys.SetOmitFrom(p, omit) }

@@ -114,6 +114,15 @@ func AdversaryRNG(seed uint64) *xrand.RNG {
 	return xrand.New(xrand.Derive(seed, seedDomainAdv))
 }
 
+// ProcRNG returns a generator positioned exactly like the stream the
+// engine hands process p of a run with the given seed. Like AdversaryRNG
+// it is part of the run's determinism contract: any engine implementation
+// that claims to reproduce this package's executions (sim/oracle) must
+// seed its processes from these streams.
+func ProcRNG(seed uint64, p ProcID) *xrand.RNG {
+	return xrand.New(xrand.Derive(seed, seedDomainProc, uint64(p)))
+}
+
 // Run executes one simulation to quiescence (or cutoff) and returns its
 // Outcome. The returned error reports configuration mistakes only; runs
 // cut off by Horizon/MaxEvents return a valid Outcome with HorizonHit set,
@@ -243,7 +252,7 @@ func newEngine(cfg Config) (*engine, error) {
 			ID:  ProcID(p),
 			N:   n,
 			F:   cfg.F,
-			RNG: xrand.New(xrand.Derive(cfg.Seed, seedDomainProc, uint64(p))),
+			RNG: ProcRNG(cfg.Seed, ProcID(p)),
 		}
 	}
 	e.procs = cfg.Protocol.New(envs)
@@ -260,7 +269,7 @@ func newEngine(cfg Config) (*engine, error) {
 
 func (e *engine) run() {
 	if e.adv != nil {
-		e.adv.Init(View{e}, Control{e})
+		e.adv.Init(NewView(e), NewControl(e))
 	}
 	watched := e.cfg.Cancel != nil || e.cfg.MaxWall > 0
 	var deadline time.Time
@@ -297,7 +306,7 @@ func (e *engine) run() {
 		if e.adv != nil {
 			events := e.sendLog
 			e.sendLog = e.sendLog[:0]
-			e.adv.Observe(t, events, View{e}, Control{e})
+			e.adv.Observe(t, events, NewView(e), NewControl(e))
 		}
 		e.deliver(t)
 		e.localSteps(t)

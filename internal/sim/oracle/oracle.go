@@ -1,0 +1,531 @@
+// Package oracle is a deliberately naive reference implementation of the
+// simulation semantics of Section II-A, used as the differential-testing
+// oracle for the production engine in internal/sim.
+//
+// Where the production engine earns its speed with an indexed event
+// scheduler, pooled delivery buckets, and incrementally maintained
+// counters, this engine recomputes everything the slow, obvious way:
+// the next event time is found by an O(N) scan over all processes plus a
+// scan over the in-flight map, schedulability and quiescence are decided
+// by fresh scans, and the in-flight message set is a plain
+// map[Step][]Message with no pooling. The two implementations share only
+// the public sim types (Config, Outcome, Protocol, Adversary, System) and
+// the seed-derivation contract (sim.ProcRNG, sim.AdversaryRNG); every
+// scheduling and bookkeeping decision is made independently, so a
+// divergence between them is evidence that one of the engines — in
+// practice, the optimized one after a refactor — no longer implements the
+// paper's semantics.
+//
+// Run must produce an Outcome bit-identical to sim.Run for every
+// deterministic configuration, including all Stats counters except the
+// three that are implementation artifacts rather than semantics:
+// Stats.Wall (wall-clock), and Stats.HeapPushes/HeapPops (the production
+// scheduler's heap traffic; this engine has no heap and leaves them 0).
+// internal/simtest.DiffOutcomes normalizes exactly those fields.
+//
+// Outcome-neutral knobs are ignored: Workers (always serial), Trace,
+// Sample, Cancel, and MaxWall. The oracle compares deterministic complete
+// executions only.
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+// Run executes one simulation to quiescence (or cutoff) under the naive
+// reference semantics and returns its Outcome. It mirrors sim.Run's
+// validation; see the package comment for the fields in which the result
+// may legitimately differ from the production engine.
+func Run(cfg sim.Config) (sim.Outcome, error) {
+	e, err := newOracle(cfg)
+	if err != nil {
+		return sim.Outcome{}, err
+	}
+	e.run()
+	return e.outcome(), nil
+}
+
+type oracle struct {
+	cfg       sim.Config
+	n         int
+	horizon   sim.Step
+	maxEvents int64
+
+	now   sim.Step
+	procs []sim.Process
+	adv   sim.AdversaryInstance
+
+	awake   []bool // false for sleeping AND crashed processes
+	crashed []bool
+	omitted []bool
+	delta   []sim.Step
+	delay   []sim.Step
+	anchor  []sim.Step
+
+	pending  [][]sim.Message
+	inflight map[sim.Step][]sim.Message // the entire "calendar": one plain map
+
+	sent     []int64
+	lastSend []sim.Step
+	sendLog  []sim.SendRecord
+	outboxes []sim.Outbox
+
+	msgTotal   int64
+	crashCount int
+	eventCount int64
+	inFlightCt int64
+	horizonHit bool
+
+	st         sim.Stats
+	kinds      map[string]int64
+	statsEvery sim.Step
+	interval   sim.IntervalStats
+}
+
+func newOracle(cfg sim.Config) (*oracle, error) {
+	switch {
+	case cfg.N < 1:
+		return nil, fmt.Errorf("oracle: N = %d, need N ≥ 1", cfg.N)
+	case cfg.F < 0 || cfg.F >= cfg.N:
+		return nil, fmt.Errorf("oracle: F = %d, need 0 ≤ F < N = %d", cfg.F, cfg.N)
+	case cfg.Protocol == nil:
+		return nil, errors.New("oracle: Config.Protocol is required")
+	case cfg.Horizon < 0:
+		return nil, fmt.Errorf("oracle: Horizon = %d, need ≥ 0", cfg.Horizon)
+	case cfg.MaxEvents < 0:
+		return nil, fmt.Errorf("oracle: MaxEvents = %d, need ≥ 0", cfg.MaxEvents)
+	}
+	n := cfg.N
+	e := &oracle{
+		cfg: cfg, n: n,
+		horizon: cfg.Horizon, maxEvents: cfg.MaxEvents,
+		awake: make([]bool, n), crashed: make([]bool, n), omitted: make([]bool, n),
+		delta: make([]sim.Step, n), delay: make([]sim.Step, n), anchor: make([]sim.Step, n),
+		pending:  make([][]sim.Message, n),
+		inflight: make(map[sim.Step][]sim.Message),
+		sent:     make([]int64, n), lastSend: make([]sim.Step, n),
+		outboxes:   make([]sim.Outbox, n),
+		kinds:      make(map[string]int64),
+		statsEvery: cfg.StatsEvery,
+	}
+	if e.horizon == 0 {
+		e.horizon = sim.DefaultHorizon
+	}
+	if e.maxEvents == 0 {
+		e.maxEvents = sim.DefaultMaxEvents
+	}
+	envs := make([]sim.Env, n)
+	for p := 0; p < n; p++ {
+		e.awake[p] = true
+		e.delta[p] = 1
+		e.delay[p] = 1
+		e.outboxes[p] = sim.NewOutbox(sim.ProcID(p), n)
+		envs[p] = sim.Env{ID: sim.ProcID(p), N: n, F: cfg.F, RNG: sim.ProcRNG(cfg.Seed, sim.ProcID(p))}
+	}
+	e.procs = cfg.Protocol.New(envs)
+	if len(e.procs) != n {
+		return nil, fmt.Errorf("oracle: protocol %q built %d processes, want %d",
+			cfg.Protocol.Name(), len(e.procs), n)
+	}
+	if cfg.Adversary != nil {
+		e.adv = cfg.Adversary.New(n, cfg.F, sim.AdversaryRNG(cfg.Seed))
+	}
+	return e, nil
+}
+
+func (e *oracle) run() {
+	if e.adv != nil {
+		e.adv.Init(sim.NewView(e), sim.NewControl(e))
+	}
+	for !e.quiescent() {
+		t, ok := e.nextEventTime()
+		if !ok {
+			e.horizonHit = true // unreachable, mirrored from the engine
+			break
+		}
+		if t > e.horizon || e.eventCount > e.maxEvents {
+			e.horizonHit = true
+			break
+		}
+		e.now = t
+		e.st.ActiveSteps++
+		if e.statsEvery > 0 && t >= e.interval.Start+e.statsEvery {
+			e.closeInterval(t)
+		}
+		if e.adv != nil {
+			events := e.sendLog
+			e.sendLog = nil
+			e.adv.Observe(t, events, sim.NewView(e), sim.NewControl(e))
+		}
+		e.deliver(t)
+		e.localSteps(t)
+	}
+	if e.statsEvery > 0 {
+		e.closeInterval(e.now + 1)
+	}
+}
+
+// quiescent recomputes the engine's three quiescence counters by scan:
+// no correct process awake, no undelivered mailbox message, nothing in
+// flight to a correct process.
+func (e *oracle) quiescent() bool {
+	for p := 0; p < e.n; p++ {
+		if e.awake[p] || len(e.pending[p]) > 0 {
+			return false
+		}
+	}
+	for _, bucket := range e.inflight {
+		for _, m := range bucket {
+			if !e.crashed[m.To] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// nextEventTime scans all N processes for the earliest local-step
+// boundary of a schedulable process, and the whole in-flight map for the
+// earliest delivery. Buckets bound for crashed processes still count:
+// their delivery step is an active step at which the adversary observes
+// and the messages are dropped.
+func (e *oracle) nextEventTime() (sim.Step, bool) {
+	best, found := sim.Step(0), false
+	take := func(t sim.Step) {
+		if !found || t < best {
+			best, found = t, true
+		}
+	}
+	for p := 0; p < e.n; p++ {
+		if e.schedulable(sim.ProcID(p)) {
+			take(e.nextBoundary(sim.ProcID(p)))
+		}
+	}
+	for at := range e.inflight {
+		take(at)
+	}
+	return best, found
+}
+
+// schedulable: not crashed, and awake or holding undelivered mail.
+func (e *oracle) schedulable(p sim.ProcID) bool {
+	return !e.crashed[p] && (e.awake[p] || len(e.pending[p]) > 0)
+}
+
+// nextBoundary returns p's earliest local-step boundary strictly after
+// the current step: anchor + k·δ with k ≥ 1.
+func (e *oracle) nextBoundary(p sim.ProcID) sim.Step {
+	a, d := e.anchor[p], e.delta[p]
+	min := e.now + 1
+	if a+d >= min {
+		return a + d
+	}
+	k := (min - a + d - 1) / d
+	return a + k*d
+}
+
+// boundaryAt reports whether p has a local-step boundary exactly at t.
+func (e *oracle) boundaryAt(p sim.ProcID, t sim.Step) bool {
+	a := e.anchor[p]
+	return t > a && (t-a)%e.delta[p] == 0
+}
+
+func (e *oracle) deliver(t sim.Step) {
+	bucket, ok := e.inflight[t]
+	if !ok {
+		return
+	}
+	delete(e.inflight, t)
+	for _, m := range bucket {
+		e.inFlightCt--
+		if e.crashed[m.To] {
+			e.st.DroppedCrashed++
+			continue
+		}
+		e.st.Deliveries++
+		if e.statsEvery > 0 {
+			e.interval.Deliveries++
+		}
+		e.pending[m.To] = append(e.pending[m.To], m)
+	}
+	if tp := e.totalPending(); tp > e.st.MaxPending {
+		e.st.MaxPending = tp
+	}
+}
+
+func (e *oracle) totalPending() int64 {
+	var tp int64
+	for p := 0; p < e.n; p++ {
+		tp += int64(len(e.pending[p]))
+	}
+	return tp
+}
+
+func (e *oracle) localSteps(t sim.Step) {
+	var due []sim.ProcID
+	for p := 0; p < e.n; p++ {
+		if e.schedulable(sim.ProcID(p)) && e.boundaryAt(sim.ProcID(p), t) {
+			due = append(due, sim.ProcID(p))
+		}
+	}
+	// Same phase discipline as the engine: every Step call of the global
+	// step runs before any Commit, so protocols with shared run state read
+	// the previous step's published view.
+	for _, p := range due {
+		e.outboxes[p] = sim.NewOutbox(p, e.n)
+		e.procs[p].Step(t, e.pending[p], &e.outboxes[p])
+	}
+	for _, p := range due {
+		e.commitOne(t, p)
+	}
+}
+
+func (e *oracle) commitOne(t sim.Step, p sim.ProcID) {
+	e.anchor[p] = t
+	e.pending[p] = nil
+	e.eventCount++
+	e.st.LocalSteps++
+
+	for _, d := range e.outboxes[p].Drain() {
+		e.msgTotal++
+		e.sent[p]++
+		e.lastSend[p] = t
+		e.eventCount++
+		kind := "?"
+		if d.Payload != nil {
+			kind = d.Payload.Kind()
+		}
+		e.kinds[kind]++
+		if e.statsEvery > 0 {
+			e.interval.Sends++
+			e.interval.DelayHist[delayBucket(e.delay[p])]++
+		}
+		deliverAt := t + e.delay[p]
+		if e.adv != nil {
+			e.sendLog = append(e.sendLog, sim.SendRecord{From: p, To: d.To, SentAt: t, DeliverAt: deliverAt})
+		}
+		if e.crashed[d.To] || e.omitted[p] {
+			if e.crashed[d.To] {
+				e.st.DroppedCrashed++
+			} else {
+				e.st.OmittedSends++
+			}
+			continue
+		}
+		e.inflight[deliverAt] = append(e.inflight[deliverAt], sim.Message{
+			From: p, To: d.To, SentAt: t, DeliverAt: deliverAt, Payload: d.Payload,
+		})
+		e.inFlightCt++
+		if e.inFlightCt > e.st.MaxInFlight {
+			e.st.MaxInFlight = e.inFlightCt
+		}
+	}
+
+	if c, ok := e.procs[p].(sim.Committer); ok {
+		c.Commit(t)
+	}
+
+	asleep := e.procs[p].Asleep()
+	switch {
+	case asleep && e.awake[p]:
+		e.awake[p] = false
+		e.st.Sleeps++
+		if e.statsEvery > 0 {
+			e.interval.Sleeps++
+		}
+	case !asleep && !e.awake[p]:
+		e.awake[p] = true
+		e.st.Wakes++
+		if e.statsEvery > 0 {
+			e.interval.Wakes++
+		}
+	}
+}
+
+func (e *oracle) closeInterval(boundary sim.Step) {
+	iv := &e.interval
+	if iv.Sends != 0 || iv.Deliveries != 0 || iv.Sleeps != 0 || iv.Wakes != 0 || iv.Crashes != 0 {
+		iv.End = boundary
+		iv.AwakeCorrect = e.awakeCount()
+		iv.InFlight = e.inFlightCt
+		e.st.Intervals = append(e.st.Intervals, *iv)
+	}
+	e.interval = sim.IntervalStats{Start: boundary}
+}
+
+func (e *oracle) awakeCount() int {
+	n := 0
+	for p := 0; p < e.n; p++ {
+		if e.awake[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// delayBucket mirrors the engine's log₂ delay histogram bucketing.
+func delayBucket(d sim.Step) int {
+	b := bits.Len64(uint64(d)) - 1
+	if b < 0 {
+		b = 0
+	}
+	if max := len(sim.IntervalStats{}.DelayHist) - 1; b > max {
+		b = max
+	}
+	return b
+}
+
+func (e *oracle) outcome() sim.Outcome {
+	o := sim.Outcome{
+		Protocol:   e.cfg.Protocol.Name(),
+		Adversary:  "none",
+		N:          e.n,
+		F:          e.cfg.F,
+		Seed:       e.cfg.Seed,
+		Quiescence: e.now,
+		Messages:   e.msgTotal,
+		Crashed:    e.crashCount,
+		HorizonHit: e.horizonHit,
+	}
+	if e.cfg.Adversary != nil {
+		o.Adversary = e.cfg.Adversary.Name()
+		o.Strategy = e.adv.Label()
+	}
+	for p := 0; p < e.n; p++ {
+		if e.crashed[p] {
+			continue
+		}
+		if e.lastSend[p] > o.TEnd {
+			o.TEnd = e.lastSend[p]
+		}
+		if e.delta[p] > o.DeltaMax {
+			o.DeltaMax = e.delta[p]
+		}
+		if e.delay[p] > o.DelayMax {
+			o.DelayMax = e.delay[p]
+		}
+	}
+	if norm := o.DeltaMax + o.DelayMax; norm > 0 {
+		o.Time = float64(o.TEnd) / float64(norm)
+	}
+	o.Gathered = e.gathered()
+	if e.cfg.KeepPerProcess {
+		o.PerProcessMsgs = append([]int64(nil), e.sent...)
+	}
+	st := e.st
+	st.Events = e.eventCount
+	st.Sends = e.msgTotal
+	for kind, count := range e.kinds {
+		st.MessagesByKind = append(st.MessagesByKind, sim.KindCount{Kind: kind, Count: count})
+	}
+	sort.Slice(st.MessagesByKind, func(i, j int) bool {
+		return st.MessagesByKind[i].Kind < st.MessagesByKind[j].Kind
+	})
+	o.Stats = st
+	return o
+}
+
+func (e *oracle) gathered() bool {
+	for p := 0; p < e.n; p++ {
+		if e.crashed[p] {
+			continue
+		}
+		for q := 0; q < e.n; q++ {
+			if q == p || e.crashed[q] {
+				continue
+			}
+			if !e.procs[p].Knows(sim.ProcID(q)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// The adversary-facing sim.System implementation. Semantics are mirrored
+// from Definition II.5, not from the production engine's code: Crash
+// enforces the budget and discards the victim's mailbox, SetDelta
+// re-anchors the local-step schedule at the current step, SetDelay
+// affects future sends only.
+
+// NumProcs implements sim.System.
+func (e *oracle) NumProcs() int { return e.n }
+
+// CrashBudget implements sim.System.
+func (e *oracle) CrashBudget() int { return e.cfg.F }
+
+// Now implements sim.System.
+func (e *oracle) Now() sim.Step { return e.now }
+
+// Crashed implements sim.System.
+func (e *oracle) Crashed(p sim.ProcID) bool { return e.crashed[p] }
+
+// Asleep implements sim.System.
+func (e *oracle) Asleep(p sim.ProcID) bool { return !e.crashed[p] && !e.awake[p] }
+
+// SentCount implements sim.System.
+func (e *oracle) SentCount(p sim.ProcID) int64 { return e.sent[p] }
+
+// Delta implements sim.System.
+func (e *oracle) Delta(p sim.ProcID) sim.Step { return e.delta[p] }
+
+// Delay implements sim.System.
+func (e *oracle) Delay(p sim.ProcID) sim.Step { return e.delay[p] }
+
+// CrashCount implements sim.System.
+func (e *oracle) CrashCount() int { return e.crashCount }
+
+// Crash implements sim.System.
+func (e *oracle) Crash(p sim.ProcID) bool {
+	if p < 0 || int(p) >= e.n || e.crashed[p] || e.crashCount >= e.cfg.F {
+		return false
+	}
+	e.crashed[p] = true
+	e.crashCount++
+	e.st.Crashes++
+	if e.statsEvery > 0 {
+		e.interval.Crashes++
+	}
+	e.awake[p] = false
+	e.pending[p] = nil
+	return true
+}
+
+// SetDelta implements sim.System.
+func (e *oracle) SetDelta(p sim.ProcID, v sim.Step) {
+	if p < 0 || int(p) >= e.n {
+		panic("oracle: SetDelta on process out of range")
+	}
+	if v < 1 {
+		panic("oracle: SetDelta with non-positive step time")
+	}
+	e.st.DeltaRewrites++
+	e.delta[p] = v
+	e.anchor[p] = e.now
+}
+
+// SetDelay implements sim.System.
+func (e *oracle) SetDelay(p sim.ProcID, v sim.Step) {
+	if p < 0 || int(p) >= e.n {
+		panic("oracle: SetDelay on process out of range")
+	}
+	if v < 1 {
+		panic("oracle: SetDelay with non-positive delivery time")
+	}
+	e.st.DelayRewrites++
+	e.delay[p] = v
+}
+
+// SetOmitFrom implements sim.System.
+func (e *oracle) SetOmitFrom(p sim.ProcID, omit bool) {
+	if p < 0 || int(p) >= e.n {
+		panic("oracle: SetOmitFrom on process out of range")
+	}
+	e.st.OmitRewrites++
+	e.omitted[p] = omit
+}

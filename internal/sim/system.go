@@ -1,0 +1,90 @@
+package sim
+
+// The production engine's System implementation: the adversary-facing
+// surface of engine state, plus the write operations of Definition II.5.
+// The read accessors are direct field reads; the write operations carry
+// the engine-specific bookkeeping (scheduler reindexing, intervention
+// counters, trace events) that the reference engine in sim/oracle
+// implements its own way.
+
+// NumProcs implements System.
+func (e *engine) NumProcs() int { return e.n }
+
+// CrashBudget implements System.
+func (e *engine) CrashBudget() int { return e.cfg.F }
+
+// Now implements System.
+func (e *engine) Now() Step { return e.now }
+
+// Crashed implements System.
+func (e *engine) Crashed(p ProcID) bool { return e.crashed[p] }
+
+// Asleep implements System.
+func (e *engine) Asleep(p ProcID) bool { return !e.crashed[p] && !e.awake[p] }
+
+// SentCount implements System.
+func (e *engine) SentCount(p ProcID) int64 { return e.sent[p] }
+
+// Delta implements System.
+func (e *engine) Delta(p ProcID) Step { return e.delta[p] }
+
+// Delay implements System.
+func (e *engine) Delay(p ProcID) Step { return e.delay[p] }
+
+// CrashCount implements System.
+func (e *engine) CrashCount() int { return e.crashCount }
+
+// Crash implements System: it enforces the range, already-crashed and
+// budget guards, then fails the process immediately.
+func (e *engine) Crash(p ProcID) bool {
+	if p < 0 || int(p) >= e.n || e.crashed[p] || e.crashCount >= e.cfg.F {
+		return false
+	}
+	e.crashProcess(p)
+	return true
+}
+
+// SetDelta implements System: rewrite δ_p and re-anchor p's local-step
+// schedule at the current step.
+func (e *engine) SetDelta(p ProcID, v Step) {
+	if p < 0 || int(p) >= e.n {
+		panic("sim: SetDelta on process out of range")
+	}
+	if v < 1 {
+		panic("sim: SetDelta with non-positive step time")
+	}
+	e.st.DeltaRewrites++
+	e.delta[p] = v
+	e.anchor[p] = e.now
+	if e.sched.scheduledAt(p) != noSchedule {
+		// Schedulable process: its next boundary moved to now + v.
+		// Crashed or sleeping processes stay out of the index; a later
+		// wake-up arrival reads the rewritten anchor/δ.
+		e.sched.scheduleProc(p, e.now+v)
+	}
+	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "delta"})
+}
+
+// SetDelay implements System: only messages sent after the rewrite are
+// affected; in-flight messages keep the delivery time stamped at send.
+func (e *engine) SetDelay(p ProcID, v Step) {
+	if p < 0 || int(p) >= e.n {
+		panic("sim: SetDelay on process out of range")
+	}
+	if v < 1 {
+		panic("sim: SetDelay with non-positive delivery time")
+	}
+	e.st.DelayRewrites++
+	e.delay[p] = v
+	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "delay"})
+}
+
+// SetOmitFrom implements System.
+func (e *engine) SetOmitFrom(p ProcID, omit bool) {
+	if p < 0 || int(p) >= e.n {
+		panic("sim: SetOmitFrom on process out of range")
+	}
+	e.st.OmitRewrites++
+	e.omitted[p] = omit
+	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "omit"})
+}

@@ -1,0 +1,110 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/sim/trace"
+)
+
+type fuzzPayload string
+
+func (p fuzzPayload) Kind() string { return string(p) }
+
+// jsonRoundTrip is what a string should look like after the standard
+// library encodes and decodes it — the reference the hand-rolled encoder
+// must agree with (invalid UTF-8 is replaced, not preserved, exactly as
+// encoding/json replaces it).
+func jsonRoundTrip(t *testing.T, s string) string {
+	enc, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("json.Marshal(%q): %v", s, err)
+	}
+	var out string
+	if err := json.Unmarshal(enc, &out); err != nil {
+		t.Fatalf("json.Unmarshal(%s): %v", enc, err)
+	}
+	return out
+}
+
+// FuzzTraceRoundTrip throws arbitrary field values at the hand-rolled
+// JSONL encoder and asserts the stream stays parseable and lossless:
+// every line Read returns must reproduce the event's fields, with the two
+// documented normalizations — a negative peer is omitted on the wire (and
+// decodes as 0), and payload/note strings survive exactly as
+// encoding/json would round-trip them. The fast-path/fallback split in
+// appendJSONString (ASCII direct copy vs json.Marshal) is exactly the
+// kind of seam a fuzzer is for.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(uint8(0), int64(1), 5, 7, "push", "")
+	f.Add(uint8(1), int64(2), 7, 5, "pull-req", "")
+	f.Add(uint8(7), int64(999), -1, -1, "", "quiescence")
+	f.Add(uint8(6), int64(3), 0, -1, "", "delta")
+	f.Add(uint8(0), int64(0), 0, 0, `quo"te\and`+"\x7f", "ünïcødé")
+	f.Add(uint8(200), int64(-5), -99, 12, "\xff\xfe", "\x00control\x1f")
+	f.Fuzz(func(t *testing.T, kindRaw uint8, step int64, proc, other int, payload, note string) {
+		ev := sim.TraceEvent{
+			Kind:  sim.TraceKind(kindRaw % uint8(sim.NumTraceKinds)),
+			Step:  sim.Step(step),
+			Proc:  sim.ProcID(proc),
+			Other: sim.ProcID(other),
+			Note:  note,
+		}
+		if payload != "" {
+			ev.Payload = fuzzPayload(payload)
+		}
+
+		var buf bytes.Buffer
+		j := trace.NewJSONL(&buf)
+		j.Event(ev)
+		j.Event(ev) // twice: the per-line scratch buffer must not leak state
+		if err := j.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		if j.Events() != 2 {
+			t.Fatalf("Events() = %d, want 2", j.Events())
+		}
+
+		recs, err := trace.Read(&buf)
+		if err != nil {
+			t.Fatalf("encoder produced an unparseable stream: %v\nstream: %q", err, buf.String())
+		}
+		if len(recs) != 2 {
+			t.Fatalf("wrote 2 events, read %d records", len(recs))
+		}
+		for _, rec := range recs {
+			if rec.Kind != ev.Kind.String() {
+				t.Errorf("kind: got %q want %q", rec.Kind, ev.Kind.String())
+			}
+			if rec.Step != int64(ev.Step) {
+				t.Errorf("step: got %d want %d", rec.Step, ev.Step)
+			}
+			if rec.Proc != int(ev.Proc) {
+				t.Errorf("proc: got %d want %d", rec.Proc, ev.Proc)
+			}
+			wantOther := int(ev.Other)
+			if wantOther < 0 {
+				wantOther = 0 // omitted on the wire, zero after decode
+			}
+			if rec.Other != wantOther {
+				t.Errorf("other: got %d want %d", rec.Other, wantOther)
+			}
+			if payload != "" {
+				if want := jsonRoundTrip(t, payload); rec.Payload != want {
+					t.Errorf("payload: got %q want %q", rec.Payload, want)
+				}
+			} else if rec.Payload != "" {
+				t.Errorf("payload: got %q want empty", rec.Payload)
+			}
+			if note != "" {
+				if want := jsonRoundTrip(t, note); rec.Note != want {
+					t.Errorf("note: got %q want %q", rec.Note, want)
+				}
+			} else if rec.Note != "" {
+				t.Errorf("note: got %q want empty", rec.Note)
+			}
+		}
+	})
+}

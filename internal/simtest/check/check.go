@@ -1,0 +1,186 @@
+// Package check validates engine trace streams against the execution
+// invariants of Section II-A. Sink implements sim.TraceSink, so it can
+// watch a run online (attach it via Config.Trace, possibly behind
+// trace.Multi), and Replay feeds it a decoded JSONL stream after the
+// fact — the same invariants either way:
+//
+//   - steps are monotone: no event carries a smaller step than one before
+//   - every arrival is backed by a prior unconsumed send between the same
+//     (from, to) pair, and within one global step all arrivals precede all
+//     sends (the engine delivers before it runs local steps)
+//   - crashed processes are silent: after a crash event, the victim takes
+//     no local steps, sends nothing, never sleeps or wakes, and receives
+//     nothing (messages it sent earlier may still arrive at others;
+//     adversary rewrites may still name it)
+//   - the end marker appears exactly once, last
+//
+// Finish then reconciles the stream with the run's Outcome: per-kind
+// event counts must equal the Stats counters, and the sends never matched
+// by an arrival must account exactly for Sends − Deliveries.
+package check
+
+import (
+	"fmt"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+// maxViolations caps the recorded violation list so a badly broken run
+// reports its first hundred problems instead of building an O(events)
+// slice of them.
+const maxViolations = 100
+
+type pair struct{ from, to sim.ProcID }
+
+// Sink is an online trace validator. The zero value is not ready; use New.
+type Sink struct {
+	violations []string
+	dropped    int64 // violations beyond maxViolations
+
+	events      int64
+	lastStep    sim.Step
+	ended       bool
+	endStep     sim.Step
+	crashed     map[sim.ProcID]sim.Step
+	outstanding map[pair]int64
+	sendsAt     sim.Step // last step with a send: arrivals at it violate phase order
+	haveSend    bool
+	counts      [sim.NumTraceKinds]int64
+}
+
+// New returns an empty validator.
+func New() *Sink {
+	return &Sink{
+		crashed:     make(map[sim.ProcID]sim.Step),
+		outstanding: make(map[pair]int64),
+	}
+}
+
+func (s *Sink) violate(format string, args ...any) {
+	if len(s.violations) >= maxViolations {
+		s.dropped++
+		return
+	}
+	s.violations = append(s.violations, fmt.Sprintf(format, args...))
+}
+
+// Event implements sim.TraceSink.
+func (s *Sink) Event(ev sim.TraceEvent) {
+	s.events++
+	if int(ev.Kind) < len(s.counts) {
+		s.counts[ev.Kind]++
+	} else {
+		s.violate("event %d: unknown kind %d", s.events, ev.Kind)
+		return
+	}
+	if s.ended {
+		s.violate("t=%d %s: event after the end marker", ev.Step, ev.Kind)
+	}
+	if ev.Step < s.lastStep {
+		s.violate("t=%d %s: step went backwards (previous event at t=%d)", ev.Step, ev.Kind, s.lastStep)
+	}
+	s.lastStep = ev.Step
+
+	switch ev.Kind {
+	case sim.TraceSend:
+		if at, dead := s.crashed[ev.Proc]; dead {
+			s.violate("t=%d: crashed process %d (crashed at t=%d) sent to %d", ev.Step, ev.Proc, at, ev.Other)
+		}
+		s.outstanding[pair{ev.Proc, ev.Other}]++
+		s.sendsAt, s.haveSend = ev.Step, true
+	case sim.TraceArrive:
+		if at, dead := s.crashed[ev.Proc]; dead {
+			s.violate("t=%d: delivery to crashed process %d (crashed at t=%d)", ev.Step, ev.Proc, at)
+		}
+		if s.haveSend && s.sendsAt == ev.Step {
+			s.violate("t=%d: arrival at %d after a send in the same step (deliveries must precede local steps)", ev.Step, ev.Proc)
+		}
+		p := pair{ev.Other, ev.Proc}
+		if s.outstanding[p] <= 0 {
+			s.violate("t=%d: arrival at %d from %d without a prior matching send", ev.Step, ev.Proc, ev.Other)
+		} else {
+			s.outstanding[p]--
+		}
+	case sim.TraceLocalStep, sim.TraceSleep, sim.TraceWake:
+		if at, dead := s.crashed[ev.Proc]; dead {
+			s.violate("t=%d: %s by crashed process %d (crashed at t=%d)", ev.Step, ev.Kind, ev.Proc, at)
+		}
+	case sim.TraceCrash:
+		if at, dead := s.crashed[ev.Proc]; dead {
+			s.violate("t=%d: process %d crashed twice (first at t=%d)", ev.Step, ev.Proc, at)
+		} else {
+			s.crashed[ev.Proc] = ev.Step
+		}
+	case sim.TraceAdversary:
+		// Rewrites may legitimately name crashed processes; nothing to check
+		// beyond monotonicity.
+	case sim.TraceEnd:
+		if ev.Note == "" {
+			s.violate("t=%d: end marker without a reason note", ev.Step)
+		}
+		s.ended = true
+		s.endStep = ev.Step
+	}
+}
+
+// Violations returns the invariant violations observed so far. Empty
+// means the stream is consistent (so far).
+func (s *Sink) Violations() []string {
+	v := s.violations
+	if s.dropped > 0 {
+		v = append(v[:len(v):len(v)], fmt.Sprintf("… and %d more violations", s.dropped))
+	}
+	return v
+}
+
+// Count returns the number of events of the given kind seen.
+func (s *Sink) Count(kind sim.TraceKind) int64 {
+	if int(kind) >= len(s.counts) {
+		return 0
+	}
+	return s.counts[kind]
+}
+
+// Finish runs the end-of-run reconciliation against the run's Outcome
+// and returns the full violation list, stream-level and reconciliation
+// both. It does not mutate the sink; it may be called once the run that
+// fed the sink has returned.
+func (s *Sink) Finish(o sim.Outcome) []string {
+	v := append([]string(nil), s.Violations()...)
+	add := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+
+	if !s.ended {
+		add("stream has no end marker")
+	} else if s.endStep != o.Quiescence {
+		add("end marker at t=%d, Outcome.Quiescence=%d", s.endStep, o.Quiescence)
+	}
+	type pairCount struct {
+		kind sim.TraceKind
+		want int64
+		name string
+	}
+	for _, pc := range []pairCount{
+		{sim.TraceSend, o.Stats.Sends, "Stats.Sends"},
+		{sim.TraceArrive, o.Stats.Deliveries, "Stats.Deliveries"},
+		{sim.TraceLocalStep, o.Stats.LocalSteps, "Stats.LocalSteps"},
+		{sim.TraceSleep, o.Stats.Sleeps, "Stats.Sleeps"},
+		{sim.TraceWake, o.Stats.Wakes, "Stats.Wakes"},
+		{sim.TraceCrash, o.Stats.Crashes, "Stats.Crashes"},
+		{sim.TraceAdversary, o.Stats.DeltaRewrites + o.Stats.DelayRewrites + o.Stats.OmitRewrites, "rewrite counters"},
+	} {
+		if got := s.Count(pc.kind); got != pc.want {
+			add("%d %s events, %s=%d", got, pc.kind, pc.name, pc.want)
+		}
+	}
+	var undelivered int64
+	for _, c := range s.outstanding {
+		undelivered += c
+	}
+	if want := o.Stats.Sends - o.Stats.Deliveries; undelivered != want {
+		add("%d sends never arrived, Sends-Deliveries=%d", undelivered, want)
+	}
+	if got := int64(len(s.crashed)); got != int64(o.Crashed) {
+		add("%d distinct crashed processes in trace, Outcome.Crashed=%d", got, o.Crashed)
+	}
+	return v
+}

@@ -1,0 +1,169 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/sim/trace"
+	"github.com/ugf-sim/ugf/internal/simtest/check"
+)
+
+// feed pushes a minimal consistent prefix: p0 sends to p1 at step 1, the
+// message arrives at step 2.
+func feed(s *check.Sink) {
+	s.Event(sim.TraceEvent{Kind: sim.TraceSend, Step: 1, Proc: 0, Other: 1})
+	s.Event(sim.TraceEvent{Kind: sim.TraceArrive, Step: 2, Proc: 1, Other: 0})
+}
+
+// TestSinkCatches drives deliberately broken streams through the sink
+// and asserts each violation is detected — the property suite only
+// proves the engine satisfies the validator, this proves the validator
+// can fail.
+func TestSinkCatches(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(s *check.Sink)
+		want string // substring of some violation
+	}{
+		{
+			name: "backwards step",
+			run: func(s *check.Sink) {
+				feed(s)
+				s.Event(sim.TraceEvent{Kind: sim.TraceLocalStep, Step: 1, Proc: 0, Other: -1})
+			},
+			want: "step went backwards",
+		},
+		{
+			name: "arrival without send",
+			run: func(s *check.Sink) {
+				s.Event(sim.TraceEvent{Kind: sim.TraceArrive, Step: 2, Proc: 1, Other: 0})
+			},
+			want: "without a prior matching send",
+		},
+		{
+			name: "send consumed twice",
+			run: func(s *check.Sink) {
+				feed(s)
+				s.Event(sim.TraceEvent{Kind: sim.TraceArrive, Step: 3, Proc: 1, Other: 0})
+			},
+			want: "without a prior matching send",
+		},
+		{
+			name: "send by crashed process",
+			run: func(s *check.Sink) {
+				s.Event(sim.TraceEvent{Kind: sim.TraceCrash, Step: 1, Proc: 0, Other: -1})
+				s.Event(sim.TraceEvent{Kind: sim.TraceSend, Step: 2, Proc: 0, Other: 1})
+			},
+			want: "crashed process 0",
+		},
+		{
+			name: "delivery to crashed process",
+			run: func(s *check.Sink) {
+				s.Event(sim.TraceEvent{Kind: sim.TraceSend, Step: 1, Proc: 0, Other: 1})
+				s.Event(sim.TraceEvent{Kind: sim.TraceCrash, Step: 1, Proc: 1, Other: -1})
+				s.Event(sim.TraceEvent{Kind: sim.TraceArrive, Step: 2, Proc: 1, Other: 0})
+			},
+			want: "delivery to crashed process 1",
+		},
+		{
+			name: "local step by crashed process",
+			run: func(s *check.Sink) {
+				s.Event(sim.TraceEvent{Kind: sim.TraceCrash, Step: 1, Proc: 2, Other: -1})
+				s.Event(sim.TraceEvent{Kind: sim.TraceLocalStep, Step: 2, Proc: 2, Other: -1})
+			},
+			want: "step by crashed process 2",
+		},
+		{
+			name: "double crash",
+			run: func(s *check.Sink) {
+				s.Event(sim.TraceEvent{Kind: sim.TraceCrash, Step: 1, Proc: 0, Other: -1})
+				s.Event(sim.TraceEvent{Kind: sim.TraceCrash, Step: 2, Proc: 0, Other: -1})
+			},
+			want: "crashed twice",
+		},
+		{
+			name: "arrival after send in same step",
+			run: func(s *check.Sink) {
+				s.Event(sim.TraceEvent{Kind: sim.TraceSend, Step: 1, Proc: 0, Other: 1})
+				s.Event(sim.TraceEvent{Kind: sim.TraceSend, Step: 2, Proc: 0, Other: 1})
+				s.Event(sim.TraceEvent{Kind: sim.TraceArrive, Step: 2, Proc: 1, Other: 0})
+			},
+			want: "deliveries must precede local steps",
+		},
+		{
+			name: "event after end",
+			run: func(s *check.Sink) {
+				feed(s)
+				s.Event(sim.TraceEvent{Kind: sim.TraceEnd, Step: 2, Proc: -1, Other: -1, Note: "quiescence"})
+				s.Event(sim.TraceEvent{Kind: sim.TraceLocalStep, Step: 3, Proc: 0, Other: -1})
+			},
+			want: "after the end marker",
+		},
+		{
+			name: "end without note",
+			run: func(s *check.Sink) {
+				s.Event(sim.TraceEvent{Kind: sim.TraceEnd, Step: 1, Proc: -1, Other: -1})
+			},
+			want: "without a reason note",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := check.New()
+			tc.run(s)
+			found := false
+			for _, v := range s.Violations() {
+				if strings.Contains(v, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("want a violation containing %q, got %q", tc.want, s.Violations())
+			}
+		})
+	}
+}
+
+// TestFinishReconciliation checks the Outcome reconciliation arm: a
+// clean stream against Stats counters that do not match it must fail,
+// and against matching counters must pass.
+func TestFinishReconciliation(t *testing.T) {
+	good := sim.Outcome{Quiescence: 2}
+	good.Stats.Sends = 1
+	good.Stats.Deliveries = 1
+
+	s := check.New()
+	feed(s)
+	s.Event(sim.TraceEvent{Kind: sim.TraceEnd, Step: 2, Proc: -1, Other: -1, Note: "quiescence"})
+	if vs := s.Finish(good); len(vs) != 0 {
+		t.Errorf("clean stream against matching outcome: %q", vs)
+	}
+
+	bad := good
+	bad.Stats.Sends = 5
+	vs := s.Finish(bad)
+	if len(vs) == 0 {
+		t.Error("stream with 1 send accepted against Stats.Sends=5")
+	}
+
+	noEnd := check.New()
+	feed(noEnd)
+	if vs := noEnd.Finish(good); len(vs) == 0 {
+		t.Error("stream without end marker accepted")
+	}
+
+	wrongEnd := good
+	wrongEnd.Quiescence = 99
+	if vs := s.Finish(wrongEnd); len(vs) == 0 {
+		t.Error("end marker at t=2 accepted against Quiescence=99")
+	}
+}
+
+// TestReplayRejectsUnknownKind pins Replay's only hard error.
+func TestReplayRejectsUnknownKind(t *testing.T) {
+	_, err := check.Replay([]trace.Record{{Kind: "teleport", Step: 1, Proc: 0}})
+	if err == nil {
+		t.Error("record with unknown kind replayed without error")
+	}
+}

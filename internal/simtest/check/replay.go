@@ -1,0 +1,48 @@
+package check
+
+import (
+	"fmt"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/sim/trace"
+)
+
+// replayPayload stands in for a run's real payloads during replay: a
+// JSONL record keeps only the payload kind, which is also all the
+// validator needs.
+type replayPayload string
+
+// Kind implements sim.Payload.
+func (p replayPayload) Kind() string { return string(p) }
+
+// Replay feeds a decoded JSONL trace stream (trace.Read) through a fresh
+// Sink and returns it, so recorded runs can be validated after the fact
+// exactly like live ones. It fails only on records that cannot be mapped
+// back to trace events (unknown kind); invariant violations are reported
+// through the returned sink, not the error.
+func Replay(recs []trace.Record) (*Sink, error) {
+	s := New()
+	for i, rec := range recs {
+		k, ok := sim.ParseTraceKind(rec.Kind)
+		if !ok {
+			return s, fmt.Errorf("check: record %d: unknown kind %q", i, rec.Kind)
+		}
+		ev := sim.TraceEvent{
+			Kind:  k,
+			Step:  sim.Step(rec.Step),
+			Proc:  sim.ProcID(rec.Proc),
+			Other: sim.ProcID(rec.Other),
+			Note:  rec.Note,
+		}
+		if !k.IsMessage() {
+			// The encoder omits negative peers; restore the -1 the engine uses
+			// for run-level and single-process events.
+			ev.Other = -1
+		}
+		if rec.Payload != "" {
+			ev.Payload = replayPayload(rec.Payload)
+		}
+		s.Event(ev)
+	}
+	return s, nil
+}

@@ -1,0 +1,64 @@
+// Package simtest is the correctness-tooling layer of the simulator: a
+// seeded random-config generator (gen.go), outcome comparison against the
+// naive reference engine in sim/oracle (compare.go), a scripted adversary
+// for targeted scenarios (script.go), and the property suite plus fuzz
+// targets that tie them together (properties_test.go, fuzz_test.go).
+package simtest
+
+import (
+	"fmt"
+	"reflect"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+// Normalize projects an Outcome onto the fields every conforming engine
+// implementation must agree on. Two groups of Stats fields are zeroed:
+// the wall times (host-dependent by definition) and the scheduler heap
+// counters HeapPushes/HeapPops, which count traffic on the production
+// engine's event-index heap — an implementation artifact of PR 1's
+// scheduler, not part of the Section II-A semantics. The reference engine
+// in sim/oracle has no heap and leaves them zero. Everything else,
+// including every remaining Stats counter and the full interval series,
+// must match bit for bit.
+func Normalize(o sim.Outcome) sim.Outcome {
+	o.Stats = o.Stats.StripWall()
+	o.Stats.HeapPushes = 0
+	o.Stats.HeapPops = 0
+	return o
+}
+
+// DiffOutcomes reports the differences between two outcomes after
+// Normalize, one "field: a=… b=…" line per differing field (Stats and its
+// interval series are broken out per subfield). An empty slice means the
+// outcomes are bit-identical up to Normalize — the equivalence the
+// differential and metamorphic properties assert.
+func DiffOutcomes(a, b sim.Outcome) []string {
+	var diffs []string
+	diffValue(&diffs, "", reflect.ValueOf(Normalize(a)), reflect.ValueOf(Normalize(b)))
+	return diffs
+}
+
+// diffValue descends through structs so that a mismatch is reported at
+// the leaf field that actually differs, not as two giant %+v dumps.
+func diffValue(diffs *[]string, path string, a, b reflect.Value) {
+	if a.Kind() == reflect.Struct {
+		for i := 0; i < a.NumField(); i++ {
+			name := a.Type().Field(i).Name
+			if path != "" {
+				name = path + "." + name
+			}
+			diffValue(diffs, name, a.Field(i), b.Field(i))
+		}
+		return
+	}
+	if a.Kind() == reflect.Slice && a.Len() == b.Len() && a.Len() > 0 && a.Index(0).Kind() == reflect.Struct {
+		for i := 0; i < a.Len(); i++ {
+			diffValue(diffs, fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i))
+		}
+		return
+	}
+	if !reflect.DeepEqual(a.Interface(), b.Interface()) {
+		*diffs = append(*diffs, fmt.Sprintf("%s: a=%+v b=%+v", path, a.Interface(), b.Interface()))
+	}
+}

@@ -1,0 +1,87 @@
+package simtest
+
+import (
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+// Op identifies one scripted adversary intervention.
+type Op uint8
+
+// The scripted interventions: every write operation of Definition II.5
+// that the Control surface exposes.
+const (
+	OpCrash Op = iota
+	OpSetDelta
+	OpSetDelay
+	OpOmitOn
+	OpOmitOff
+)
+
+// Action is one scripted intervention: at the first observed step ≥ At,
+// apply Op to process P (with value V for the rewrites). Crash requests
+// that the budget or an earlier crash makes impossible are silently
+// skipped, like any adversary's failed Crash call.
+type Action struct {
+	At sim.Step
+	Op Op
+	P  sim.ProcID
+	V  sim.Step
+}
+
+// Script is a deterministic adversary that replays a fixed action list,
+// in order, as its trigger steps are reached. Actions with At = 0 are
+// applied during Init, before the first global step. It exists for the
+// property suite: unlike the strategy adversaries it exercises arbitrary
+// crash/rewrite timings, including ones no strategy would choose.
+//
+// Because adversaries observe only active steps, an action scheduled at
+// an inert step is applied at the next active step — identically in
+// every engine implementation, which is what the differential properties
+// need.
+type Script struct {
+	Actions []Action
+}
+
+// Name implements sim.Adversary.
+func (s Script) Name() string { return "script" }
+
+// New implements sim.Adversary. The script draws no randomness; the RNG
+// is accepted and ignored so Script satisfies the standard contract.
+func (s Script) New(n, f int, rng *xrand.RNG) sim.AdversaryInstance {
+	return &scriptInstance{actions: s.Actions}
+}
+
+type scriptInstance struct {
+	actions []Action
+	idx     int
+}
+
+func (si *scriptInstance) Init(view sim.View, ctl sim.Control) {
+	si.apply(0, ctl)
+}
+
+func (si *scriptInstance) Observe(now sim.Step, events []sim.SendRecord, view sim.View, ctl sim.Control) {
+	si.apply(now, ctl)
+}
+
+func (si *scriptInstance) Label() string { return "" }
+
+func (si *scriptInstance) apply(now sim.Step, ctl sim.Control) {
+	for si.idx < len(si.actions) && si.actions[si.idx].At <= now {
+		a := si.actions[si.idx]
+		si.idx++
+		switch a.Op {
+		case OpCrash:
+			ctl.Crash(a.P)
+		case OpSetDelta:
+			ctl.SetDelta(a.P, a.V)
+		case OpSetDelay:
+			ctl.SetDelay(a.P, a.V)
+		case OpOmitOn:
+			ctl.SetOmitFrom(a.P, true)
+		case OpOmitOff:
+			ctl.SetOmitFrom(a.P, false)
+		}
+	}
+}

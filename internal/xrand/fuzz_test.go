@@ -1,0 +1,51 @@
+package xrand
+
+import "testing"
+
+// FuzzZetaSampler hammers the ζ(2) samplers with arbitrary seeds and
+// caps, asserting the hard contracts that hold for every input: draws
+// land in the legal support ([1, ∞) uncapped, [1, maxK] capped), equal
+// seeds reproduce equal draw sequences, and the PMF stays a valid,
+// monotonically decreasing probability sequence.
+func FuzzZetaSampler(f *testing.F) {
+	f.Add(uint64(1), uint8(8))
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(0xDEADBEEF), uint8(1))
+	f.Add(^uint64(0), uint8(255))
+	f.Fuzz(func(t *testing.T, seed uint64, capRaw uint8) {
+		maxK := int(capRaw)%64 + 1
+
+		r := New(seed)
+		for i := 0; i < 64; i++ {
+			if k := r.Zeta2Capped(maxK); k < 1 || k > maxK {
+				t.Fatalf("Zeta2Capped(%d) = %d, outside [1, %d]", maxK, k, maxK)
+			}
+		}
+		for i := 0; i < 16; i++ {
+			if k := r.Zeta2(); k < 1 {
+				t.Fatalf("Zeta2() = %d, want ≥ 1", k)
+			}
+		}
+
+		a, b := New(seed), New(seed)
+		for i := 0; i < 16; i++ {
+			ka, kb := a.Zeta2Capped(maxK), b.Zeta2Capped(maxK)
+			if ka != kb {
+				t.Fatalf("draw %d: same seed diverged: %d vs %d", i, ka, kb)
+			}
+		}
+
+		for k := 1; k <= maxK; k++ {
+			p, next := Zeta2PMF(k), Zeta2PMF(k+1)
+			if p <= 0 || p > 1 {
+				t.Fatalf("Zeta2PMF(%d) = %v, not a probability", k, p)
+			}
+			if next >= p {
+				t.Fatalf("Zeta2PMF not strictly decreasing at k=%d: %v then %v", k, p, next)
+			}
+		}
+		if Zeta2PMF(0) != 0 || Zeta2PMF(-int(capRaw)-1) != 0 {
+			t.Fatal("Zeta2PMF outside the support must be 0")
+		}
+	})
+}

@@ -72,6 +72,48 @@ func TestZeta2TailBoundHolds(t *testing.T) {
 	}
 }
 
+// TestZeta2ChiSquared is the distributional assertion for the Remark 2
+// sampler: a chi-squared goodness-of-fit test of the empirical draw
+// counts against P(K = k) = 6/(π²k²) over the first 50 buckets, with
+// everything above 50 pooled into one tail bucket. With a fixed seed the
+// statistic is deterministic, so the bound can sit at the χ²(50)
+// α ≈ 0.001 critical value (~86.7) with headroom and still fail loudly
+// for any systematic sampler defect — a wrong normalizer, an off-by-one
+// in the inversion walk, or a biased uniform source all blow the
+// statistic up by orders of magnitude.
+func TestZeta2ChiSquared(t *testing.T) {
+	const (
+		draws   = 200000
+		buckets = 50 // per-k cells; expected count at k=50 is ~49 ≫ 5
+		bound   = 100.0
+	)
+	r := New(113)
+	counts := make([]float64, buckets+2) // 1..buckets, tail at buckets+1
+	for i := 0; i < draws; i++ {
+		k := r.Zeta2()
+		if k > buckets {
+			k = buckets + 1
+		}
+		counts[k]++
+	}
+	tailMass := 1.0
+	chi2 := 0.0
+	for k := 1; k <= buckets; k++ {
+		p := Zeta2PMF(k)
+		tailMass -= p
+		want := p * draws
+		d := counts[k] - want
+		chi2 += d * d / want
+	}
+	wantTail := tailMass * draws
+	d := counts[buckets+1] - wantTail
+	chi2 += d * d / wantTail
+	if chi2 > bound {
+		t.Errorf("chi-squared statistic %.1f over %d cells exceeds %.0f: sampler does not fit 6/(π²k²)",
+			chi2, buckets+1, bound)
+	}
+}
+
 func TestZeta2CappedSupport(t *testing.T) {
 	r := New(107)
 	for _, maxK := range []int{1, 2, 3, 8} {

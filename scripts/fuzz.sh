@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# fuzz.sh — run every native fuzz target for a fixed time each.
+#
+#   scripts/fuzz.sh [fuzztime]
+#
+# fuzztime defaults to 20s (the CI fuzz-smoke budget); the nightly job
+# passes 150s (4 targets x 150s = 10 minutes). Checked-in seed corpora
+# live in each package's testdata/fuzz/<FuzzName>/; go test runs those
+# even without -fuzz, so plain `go test ./...` is already a corpus
+# regression test. A crashing input is minimized and written to the same
+# directory — check it in to turn the crash into a permanent regression
+# test (see DESIGN.md section 9 for the reproduction workflow).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${1:-20s}"
+
+go test -fuzz='^FuzzEngineVsOracle$' -fuzztime="$FUZZTIME" -run '^$' ./internal/simtest
+go test -fuzz='^FuzzTraceRoundTrip$' -fuzztime="$FUZZTIME" -run '^$' ./internal/sim/trace
+go test -fuzz='^FuzzJournalTornTail$' -fuzztime="$FUZZTIME" -run '^$' ./internal/runner
+go test -fuzz='^FuzzZetaSampler$'     -fuzztime="$FUZZTIME" -run '^$' ./internal/xrand

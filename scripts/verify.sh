@@ -12,3 +12,10 @@ go vet ./...
 go build ./...
 go test -timeout 10m ./...
 go test -race -timeout 20m ./...
+
+# Full differential/property sweep (internal/simtest): engine vs the
+# naive reference engine, serial vs parallel, same-seed determinism, and
+# online trace validation, over 400 generated configs per property —
+# above the 224 a plain non-short `go test` uses and far above the 48 of
+# tier-1's -short mode.
+UGF_PROPERTY_CONFIGS=400 go test -count=1 -timeout 20m -run 'TestProperty' ./internal/simtest/
