@@ -57,6 +57,27 @@ func goldenExtMatrix() []goldenExtCase {
 			}
 		}
 	}
+	// PR 5 appendix: the interned-payload and pooled-path corners of the
+	// zero-alloc engine rewrite, at N ∈ {64, 1000}. SEARS fans one shared
+	// payload out to ⌈√N·ln N⌉ recipients per step (the Outbox dedup path),
+	// broadcast fans a single payload to N−1 recipients in one step (one
+	// intern slot, maximal fan-out), EARS reuses one boxed payload across
+	// quiet steps, push-pull interleaves zero-size pull requests with batch
+	// payloads (staging-table alternation), and round-robin under omission
+	// exercises the dropped-send slot reclamation. The hashes were generated
+	// on the pre-rewrite engine (PR 4 state) and must never change.
+	cases = append(cases,
+		goldenExtCase{proto: "sears", adv: "none", n: 64, f: 21, statsEvery: 16},
+		goldenExtCase{proto: "sears", adv: "ugf", n: 64, f: 21, statsEvery: 8},
+		goldenExtCase{proto: "ears", adv: "none", n: 64, f: 21, statsEvery: 0},
+		goldenExtCase{proto: "ears", adv: "omission", n: 64, f: 21, statsEvery: 16},
+		goldenExtCase{proto: "push-pull", adv: "ugf-sampled", n: 64, f: 21, statsEvery: 8},
+		goldenExtCase{proto: "broadcast", adv: "none", n: 64, f: 21, statsEvery: 16},
+		goldenExtCase{proto: "round-robin", adv: "omission", n: 64, f: 21, statsEvery: 0},
+		goldenExtCase{proto: "push-pull", adv: "none", n: 1000, f: 250, statsEvery: 32},
+		goldenExtCase{proto: "sears", adv: "none", n: 1000, f: 250, statsEvery: 0},
+		goldenExtCase{proto: "broadcast", adv: "omission", n: 1000, f: 250, statsEvery: 64},
+	)
 	return cases
 }
 
@@ -176,4 +197,14 @@ var goldenExtHashes = []string{
 	"53c11a259f934aa8", // 37: budget-capped/omission N=48 F=24 statsEvery=0
 	"ab33563a077ebbe0", // 38: budget-capped/ugf-sampled N=48 F=24 statsEvery=16
 	"eb0facabf50c721b", // 39: budget-capped/ugf N=48 F=24 statsEvery=8
+	"c27c8079e8287995", // 40: sears/none N=64 F=21 statsEvery=16
+	"99273fb2a74a60f6", // 41: sears/ugf N=64 F=21 statsEvery=8
+	"b06a8bdfa55ef4ad", // 42: ears/none N=64 F=21 statsEvery=0
+	"479eaad99b662f88", // 43: ears/omission N=64 F=21 statsEvery=16
+	"7392138e1c7445c3", // 44: push-pull/ugf-sampled N=64 F=21 statsEvery=8
+	"0e8a330b3eb7ec1a", // 45: broadcast/none N=64 F=21 statsEvery=16
+	"66377140a335ba0d", // 46: round-robin/omission N=64 F=21 statsEvery=0
+	"235c67e8195c17c9", // 47: push-pull/none N=1000 F=250 statsEvery=32
+	"0213ffc521c06095", // 48: sears/none N=1000 F=250 statsEvery=0
+	"2d152eaed869245b", // 49: broadcast/omission N=1000 F=250 statsEvery=64
 }

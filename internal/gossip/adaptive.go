@@ -72,7 +72,7 @@ func (p *adaptiveProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outb
 		for _, m := range delivered {
 			switch pl := m.Payload.(type) {
 			case pullPayload:
-				out.Send(m.From, batchPayload{GLen: p.knownLen()})
+				out.Send(m.From, p.box.payload(p.knownLen()))
 			case batchPayload:
 				p.merge(m.From, pl.GLen)
 			}
@@ -93,7 +93,7 @@ func (p *adaptiveProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outb
 			if q == int(p.env.ID) || p.pushed.has(q) {
 				continue
 			}
-			out.Send(sim.ProcID(q), batchPayload{GLen: p.knownLen()})
+			out.Send(sim.ProcID(q), p.box.payload(p.knownLen()))
 			p.pushed.add(q)
 		}
 	}

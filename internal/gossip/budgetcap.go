@@ -63,7 +63,7 @@ func (p *budgetProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outbox
 		// Absorb only: merge deliveries without sending — the budget is a
 		// hard cap, so not even anti-entropy replies go out.
 		for _, m := range delivered {
-			p.merge(m.From, m.Payload.(earsPayload))
+			p.merge(m.From, m.Payload.(*earsPayload))
 		}
 		return
 	}

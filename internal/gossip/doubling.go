@@ -48,6 +48,7 @@ type doublingProc struct {
 	ar     *arena
 	known  bitset
 	staged []sim.ProcID
+	box    batchBox
 	round  int
 	rounds int
 }
@@ -65,7 +66,7 @@ func (p *doublingProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outb
 		return
 	}
 	to := sim.ProcID((int(p.env.ID) + (1 << p.round)) % p.env.N)
-	out.Send(to, batchPayload{GLen: p.ar.len(p.env.ID) + int32(len(p.staged))})
+	out.Send(to, p.box.payload(p.ar.len(p.env.ID)+int32(len(p.staged))))
 	p.round++
 }
 

@@ -110,8 +110,16 @@ type earsProc struct {
 	// the paper's completion test is missing == 0.
 	missing int64
 
-	verSnap  []int32 // immutable snapshot shared by outgoing messages
-	verDirty bool
+	// Snapshot storage for outgoing payloads: append-only chunks that the
+	// boxed *earsPayload values point into. A chunk is abandoned to the
+	// garbage collector when full (in-flight messages keep it alive) and a
+	// fresh one is carved, so snapshotting is two allocations per
+	// snapChunk snapshots rather than two per snapshot. Per-process, not
+	// in the shared arena: payload() runs in the parallel Step phase.
+	snapBoxes []earsPayload
+	snapInts  []int32
+	plBox     sim.Payload // current boxed *earsPayload, reused until dirty
+	verDirty  bool
 	replyTo  []sim.ProcID // anti-entropy reply targets of the current step
 	quiet    int          // local steps without new information
 	// quorum is the completion threshold N−F: the process may not stop
@@ -165,7 +173,7 @@ func (p *earsProc) see(b, g sim.ProcID) {
 // whether anything new was learned, and whether the *sender* is evidently
 // behind this process's knowledge (∃b: pl.Ver[b] < ver[b]) — the trigger
 // for an anti-entropy reply.
-func (p *earsProc) merge(s sim.ProcID, pl earsPayload) (news, senderBehind bool) {
+func (p *earsProc) merge(s sim.ProcID, pl *earsPayload) (news, senderBehind bool) {
 	// G-merge: the sender's gossip set is its log prefix.
 	for _, g := range p.ar.prefix(s, pl.GLen) {
 		if !p.known.has(int(g)) {
@@ -198,7 +206,7 @@ func (p *earsProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outbox) 
 	news := false
 	p.replyTo = p.replyTo[:0]
 	for _, m := range delivered {
-		n, behind := p.merge(m.From, m.Payload.(earsPayload))
+		n, behind := p.merge(m.From, m.Payload.(*earsPayload))
 		if n {
 			news = true
 		}
@@ -246,13 +254,33 @@ func (p *earsProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outbox) 
 	}
 }
 
-// payload snapshots the current (G, I) for sending.
-func (p *earsProc) payload() earsPayload {
+// snapChunk is how many snapshots one chunk of snapshot storage holds.
+const snapChunk = 16
+
+// payload snapshots the current (G, I) for sending. The boxed value is
+// cached alongside the snapshot: ver[ID] only moves together with verDirty
+// (learn bumps both), so while the snapshot is clean the payload contents
+// are frozen and every send of a quiet stretch reuses one interface value —
+// which the Outbox then dedups and the engine interns once. Snapshots are
+// carved from the append-only chunks declared on earsProc; box pointers
+// stay valid because a chunk is never reallocated, only replaced.
+func (p *earsProc) payload() sim.Payload {
 	if p.verDirty {
-		p.verSnap = append([]int32(nil), p.ver...)
+		n := p.env.N
+		if len(p.snapInts)+n > cap(p.snapInts) {
+			p.snapInts = make([]int32, 0, snapChunk*n)
+		}
+		start := len(p.snapInts)
+		p.snapInts = append(p.snapInts, p.ver...)
+		snap := p.snapInts[start : start+n : start+n]
+		if len(p.snapBoxes) == cap(p.snapBoxes) {
+			p.snapBoxes = make([]earsPayload, 0, snapChunk)
+		}
+		p.snapBoxes = append(p.snapBoxes, earsPayload{GLen: p.ver[p.env.ID], Ver: snap})
+		p.plBox = &p.snapBoxes[len(p.snapBoxes)-1]
 		p.verDirty = false
 	}
-	return earsPayload{GLen: p.ver[p.env.ID], Ver: p.verSnap}
+	return p.plBox
 }
 
 // noteReply records a reply target, deduplicating within the step.

@@ -305,7 +305,7 @@ func TestEARSPayloadSnapshotIsImmutable(t *testing.T) {
 	p0.Step(1, nil, &out)
 	p0.Commit(1)
 	msg := out.Drain()[0]
-	snap := msg.Payload.(earsPayload)
+	snap := msg.Payload.(*earsPayload)
 	verBefore := append([]int32(nil), snap.Ver...)
 
 	// Feed process 0 a message from process 1 so its ver changes.

@@ -142,6 +142,28 @@ type batchPayload struct {
 
 func (batchPayload) Kind() string { return "gossips" }
 
+// batchBox caches the boxed interface value of the most recently sent
+// batchPayload, keyed by its GLen. Protocols send the same knowledge
+// length many times in a row — every pull answer and push of a quiet
+// stretch — and handing the engine one interface value instead of
+// re-boxing per send is what lets the Outbox dedup fan-outs and keeps the
+// steady-state hot path allocation-free. Payload *contents* are untouched,
+// so outcomes are bit-identical.
+type batchBox struct {
+	pl   sim.Payload
+	gLen int32
+}
+
+// payload returns the boxed batchPayload for knowledge length gLen,
+// reusing the previous box when the length is unchanged.
+func (b *batchBox) payload(gLen int32) sim.Payload {
+	if b.pl == nil || b.gLen != gLen {
+		b.pl = batchPayload{GLen: gLen}
+		b.gLen = gLen
+	}
+	return b.pl
+}
+
 // pullPayload is a Push-Pull pull request.
 type pullPayload struct{}
 
@@ -159,6 +181,11 @@ func (singlePayload) Kind() string { return "gossip" }
 // sender has seen the first Ver[b] entries of b's log" — the pair set
 // I(sender) under the prefix property described in the package comment.
 // Ver is an immutable snapshot shared by every send of one local step.
+//
+// Messages carry *earsPayload: the boxes and their Ver snapshots are
+// carved from per-process append-only chunks (earsProc.payload), so
+// taking a new snapshot costs two heap allocations per chunk instead of
+// two per snapshot. Receivers must treat both as immutable.
 type earsPayload struct {
 	GLen int32
 	Ver  []int32

@@ -37,6 +37,7 @@ type pushPullProc struct {
 	pulled bitset // processes a pull request was sent to
 	pushed bitset // processes that received all my gossips at least once
 	staged []sim.ProcID
+	box    batchBox // reusable boxed batchPayload (see gossip.go)
 	// need counts processes q ≠ ρ with neither pulled(q) nor known(g_q);
 	// the sleep condition is need == 0.
 	need int
@@ -91,7 +92,7 @@ func (p *pushPullProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outb
 	for _, m := range delivered {
 		switch pl := m.Payload.(type) {
 		case pullPayload:
-			out.Send(m.From, batchPayload{GLen: p.knownLen()})
+			out.Send(m.From, p.box.payload(p.knownLen()))
 			p.pushed.add(int(m.From))
 		case batchPayload:
 			p.merge(m.From, pl.GLen)
@@ -110,7 +111,7 @@ func (p *pushPullProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outb
 	}
 	// Push: one uniformly random process not pushed to yet.
 	if target, ok := p.pickUnpushed(); ok {
-		out.Send(target, batchPayload{GLen: p.knownLen()})
+		out.Send(target, p.box.payload(p.knownLen()))
 		p.pushed.add(int(target))
 	}
 }

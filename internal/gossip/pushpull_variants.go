@@ -54,6 +54,7 @@ type pushProc struct {
 	ar     *arena
 	known  bitset
 	staged []sim.ProcID
+	box    batchBox
 	quiet  int
 	window int
 }
@@ -86,7 +87,7 @@ func (p *pushProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outbox) 
 		return
 	}
 	to := sim.ProcID(p.env.RNG.IntnExcept(p.env.N, int(p.env.ID)))
-	out.Send(to, batchPayload{GLen: p.ar.len(p.env.ID) + int32(len(p.staged))})
+	out.Send(to, p.box.payload(p.ar.len(p.env.ID)+int32(len(p.staged))))
 }
 
 // Commit implements sim.Committer.

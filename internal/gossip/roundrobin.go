@@ -16,16 +16,17 @@ func (RoundRobin) Name() string { return "round-robin" }
 // New implements sim.Protocol.
 func (RoundRobin) New(envs []sim.Env) []sim.Process {
 	return sim.BuildEach(envs, func(env sim.Env) sim.Process {
-		p := &roundRobinProc{env: env, known: newBitset(env.N)}
+		p := &roundRobinProc{env: env, known: newBitset(env.N), selfPl: singlePayload{G: env.ID}}
 		p.known.add(int(env.ID))
 		return p
 	})
 }
 
 type roundRobinProc struct {
-	env   sim.Env
-	known bitset
-	next  int // offset of the next recipient: sends to ID+1+next (mod N)
+	env    sim.Env
+	known  bitset
+	selfPl sim.Payload // the one payload this process ever sends, boxed once
+	next   int         // offset of the next recipient: sends to ID+1+next (mod N)
 }
 
 // Step implements sim.Process.
@@ -35,7 +36,7 @@ func (p *roundRobinProc) Step(now sim.Step, delivered []sim.Message, out *sim.Ou
 	}
 	if p.next < p.env.N-1 {
 		to := sim.ProcID((int(p.env.ID) + 1 + p.next) % p.env.N)
-		out.Send(to, singlePayload{G: p.env.ID})
+		out.Send(to, p.selfPl)
 		p.next++
 	}
 }
@@ -59,16 +60,17 @@ func (Broadcast) Name() string { return "broadcast" }
 // New implements sim.Protocol.
 func (Broadcast) New(envs []sim.Env) []sim.Process {
 	return sim.BuildEach(envs, func(env sim.Env) sim.Process {
-		p := &broadcastProc{env: env, known: newBitset(env.N)}
+		p := &broadcastProc{env: env, known: newBitset(env.N), selfPl: singlePayload{G: env.ID}}
 		p.known.add(int(env.ID))
 		return p
 	})
 }
 
 type broadcastProc struct {
-	env   sim.Env
-	known bitset
-	done  bool
+	env    sim.Env
+	known  bitset
+	selfPl sim.Payload // the broadcast payload, boxed once and fanned out N−1 times
+	done   bool
 }
 
 // Step implements sim.Process.
@@ -80,7 +82,7 @@ func (p *broadcastProc) Step(now sim.Step, delivered []sim.Message, out *sim.Out
 		p.done = true
 		for q := 0; q < p.env.N; q++ {
 			if q != int(p.env.ID) {
-				out.Send(sim.ProcID(q), singlePayload{G: p.env.ID})
+				out.Send(sim.ProcID(q), p.selfPl)
 			}
 		}
 	}

@@ -1,0 +1,49 @@
+package sim_test
+
+// Big-N engine benchmarks: the scale tier above BenchmarkEngineLargeN.
+// These run the reusable engine-scale workloads of internal/simtest —
+// O(1) state per process, bounded event budgets — so the numbers are
+// pure engine cost: scheduling, payload interning, delivery, mailbox
+// churn. scripts/bench.sh runs them at -benchtime 1x (a single run per
+// benchmark is already 10⁵–10⁷ events) and records them in the BENCH_*
+// baselines; the README Scale section quotes them.
+//
+// ring/100k is the sparse extreme: one active process among 100k
+// sleepers, 100k sequential hops. pushpull/1M is the dense extreme: a
+// million processes exchanging pull requests and answers, ~10M events,
+// with sleeping processes woken by late pulls. Peak memory is the
+// headline: the per-run B/op of pushpull/1M is the number the < 8 GB
+// RSS acceptance bar of PR 5 is checked against.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/simtest"
+)
+
+func benchBigN(b *testing.B, n int, proto sim.Protocol) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o, err := sim.Run(sim.Config{N: n, Protocol: proto, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if o.HorizonHit {
+			b.Fatal("big-N run hit horizon")
+		}
+		b.ReportMetric(float64(o.Stats.Events), "events/op")
+	}
+}
+
+// BenchmarkEngineBigN is the scale capability delivered by PR 5:
+// ring/100k and pushpull/1M single-run costs.
+func BenchmarkEngineBigN(b *testing.B) {
+	b.Run(fmt.Sprintf("ring/N=%d", 100_000), func(b *testing.B) {
+		benchBigN(b, 100_000, simtest.Ring{Laps: 1})
+	})
+	b.Run(fmt.Sprintf("pushpull/N=%d", 1_000_000), func(b *testing.B) {
+		benchBigN(b, 1_000_000, simtest.PullServe{Pulls: 4})
+	})
+}

@@ -1,28 +1,43 @@
 package sim
 
+// imessage is an in-flight message in the calendar's internal form: sender
+// and recipient as 4-byte indexes (newEngine guards N < 2³¹) and the
+// payload as a run-table ref instead of a boxed interface value. Its
+// delivery step is the key of the bucket holding it, so it is not stored.
+// At 24 bytes against Message's 48 — and, crucially, with no pointers —
+// the calendar's peak-in-flight storage halves and drops out of GC scans
+// entirely. The engine materializes a Message (boxed payload and all) only
+// at delivery, when the copy lands in the recipient's mailbox.
+type imessage struct {
+	from, to int32
+	ref      int32 // payload-table slot (intern.go)
+	sentAt   Step
+}
+
 // calendar holds the in-flight messages of a run, bucketed by delivery
 // step. It is the storage half of the event index: the scheduler's heap
-// holds one deliverySlot entry per live bucket, pushed when add creates
+// holds one delivery-mark entry per live bucket, pushed when add creates
 // the bucket.
 //
 // Bucket slices are recycled through a free list: take hands a bucket to
 // the engine, release returns its storage. Once a run has warmed up —
 // its live-bucket count and bucket sizes have peaked — delivery allocates
 // nothing: map cells are reused by Go's runtime after deletion, and the
-// free list supplies pre-grown slices.
+// free list supplies pre-grown slices. Buckets are pointer-free, so
+// recycling needs no zeroing.
 type calendar struct {
-	buckets map[Step][]Message
-	free    [][]Message
+	buckets map[Step][]imessage
+	free    [][]imessage
 }
 
 func (c *calendar) init() {
-	c.buckets = make(map[Step][]Message)
+	c.buckets = make(map[Step][]imessage)
 }
 
 // add appends m to the bucket at step at, creating it if needed, and
 // reports whether it was created — the caller's cue to push the bucket's
-// deliverySlot entry onto the scheduler heap (exactly once per bucket).
-func (c *calendar) add(at Step, m Message) (created bool) {
+// delivery mark onto the scheduler heap (exactly once per bucket).
+func (c *calendar) add(at Step, m imessage) (created bool) {
 	b, ok := c.buckets[at]
 	if !ok {
 		created = true
@@ -38,7 +53,7 @@ func (c *calendar) add(at Step, m Message) (created bool) {
 
 // take removes and returns the bucket at step at, or nil. The caller must
 // hand the slice back through release when done with it.
-func (c *calendar) take(at Step) []Message {
+func (c *calendar) take(at Step) []imessage {
 	b, ok := c.buckets[at]
 	if !ok {
 		return nil
@@ -47,11 +62,7 @@ func (c *calendar) take(at Step) []Message {
 	return b
 }
 
-// release recycles a bucket obtained from take. Entries are zeroed so the
-// free list does not pin delivered payloads past their run.
-func (c *calendar) release(b []Message) {
-	for i := range b {
-		b[i] = Message{}
-	}
+// release recycles a bucket obtained from take.
+func (c *calendar) release(b []imessage) {
 	c.free = append(c.free, b[:0])
 }

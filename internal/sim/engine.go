@@ -154,25 +154,15 @@ type engine struct {
 	procs []Process
 	adv   AdversaryInstance
 
-	awake   []bool // false for sleeping AND crashed processes
-	crashed []bool
-	omitted []bool // sends from these processes are counted but dropped
-	delta   []Step
-	delay   []Step
-	anchor  []Step // local-step phase anchor: boundaries at anchor + k·δ, k ≥ 1
-
-	pending      [][]Message // arrived but not yet handed to the process
-	pendingCount []int64
-	cal          calendar  // in-flight messages, bucketed by delivery step
-	sched        scheduler // indexed next-event queue (see sched.go)
-	inflightTo   []int64
-
-	sent     []int64
-	lastSend []Step
+	pt    procTable    // per-process state, struct-of-arrays (proctable.go)
+	cal   calendar     // in-flight messages, bucketed by delivery step
+	sched scheduler    // indexed next-event queue (see sched.go)
+	ptab  payloadTable // interned in-flight payloads (intern.go)
 
 	sendLog  []SendRecord
 	outboxes []Outbox
 	dueBuf   []ProcID
+	resolve  []int32 // commitOne scratch: staging index → payload-table ref
 
 	awakeCorrect      int
 	totalPending      int64
@@ -199,10 +189,16 @@ type engine struct {
 	panicMu sync.Mutex
 }
 
+// maxProcs bounds N so that process indexes fit the 4-byte fields of
+// imessage and odraft.
+const maxProcs = 1<<31 - 1
+
 func newEngine(cfg Config) (*engine, error) {
 	switch {
 	case cfg.N < 1:
 		return nil, fmt.Errorf("sim: N = %d, need N ≥ 1", cfg.N)
+	case cfg.N > maxProcs:
+		return nil, fmt.Errorf("sim: N = %d, need N < 2³¹", cfg.N)
 	case cfg.F < 0 || cfg.F >= cfg.N:
 		return nil, fmt.Errorf("sim: F = %d, need 0 ≤ F < N = %d", cfg.F, cfg.N)
 	case cfg.Protocol == nil:
@@ -218,17 +214,6 @@ func newEngine(cfg Config) (*engine, error) {
 		n:            n,
 		horizon:      cfg.Horizon,
 		maxEvents:    cfg.MaxEvents,
-		awake:        make([]bool, n),
-		crashed:      make([]bool, n),
-		omitted:      make([]bool, n),
-		delta:        make([]Step, n),
-		delay:        make([]Step, n),
-		anchor:       make([]Step, n),
-		pending:      make([][]Message, n),
-		pendingCount: make([]int64, n),
-		inflightTo:   make([]int64, n),
-		sent:         make([]int64, n),
-		lastSend:     make([]Step, n),
 		outboxes:     make([]Outbox, n),
 		awakeCorrect: n,
 		workers:      cfg.Workers,
@@ -240,19 +225,26 @@ func newEngine(cfg Config) (*engine, error) {
 	if e.maxEvents == 0 {
 		e.maxEvents = DefaultMaxEvents
 	}
+	e.pt.init(n)
 	e.cal.init()
 	e.sched.init(n)
 	envs := make([]Env, n)
+	// One backing array for all process generators: each env points into
+	// it, seeded to exactly the ProcRNG(seed, p) stream. Batching the
+	// storage drops an allocation per process — at N=10⁶, a million boxed
+	// RNGs — without touching the determinism contract.
+	rngs := make([]xrand.RNG, n)
 	for p := 0; p < n; p++ {
-		e.awake[p] = true
-		e.delta[p] = 1
-		e.delay[p] = 1
+		e.pt.setAwake(ProcID(p), true)
+		e.pt.delta[p] = 1
+		e.pt.delay[p] = 1
 		e.sched.scheduleProc(ProcID(p), 1) // first boundary: anchor 0 + δ 1
+		rngs[p].Seed(xrand.Derive(cfg.Seed, seedDomainProc, uint64(p)))
 		envs[p] = Env{
 			ID:  ProcID(p),
 			N:   n,
 			F:   cfg.F,
-			RNG: ProcRNG(cfg.Seed, ProcID(p)),
+			RNG: &rngs[p],
 		}
 	}
 	e.procs = cfg.Protocol.New(envs)
@@ -286,33 +278,8 @@ func (e *engine) run() {
 			}
 			poll++
 		}
-		t, ok := e.nextEventTime()
-		if !ok {
-			// Unreachable: a non-quiescent system always has either an
-			// awake (hence schedulable) process, a pending mailbox, or a
-			// message in flight. Treat it as a cutoff rather than hanging.
-			e.horizonHit = true
+		if !e.stepOnce() {
 			break
-		}
-		if t > e.horizon || e.eventCount > e.maxEvents {
-			e.horizonHit = true
-			break
-		}
-		e.now = t
-		e.st.ActiveSteps++
-		if e.statsEvery > 0 && t >= e.interval.Start+e.statsEvery {
-			e.closeInterval(t)
-		}
-		if e.adv != nil {
-			events := e.sendLog
-			e.sendLog = e.sendLog[:0]
-			e.adv.Observe(t, events, NewView(e), NewControl(e))
-		}
-		e.deliver(t)
-		e.localSteps(t)
-		if e.cfg.Sample != nil && t >= e.lastSample+e.cfg.SampleEvery {
-			e.lastSample = t
-			e.cfg.Sample(e.snapshot())
 		}
 	}
 	if e.cfg.Sample != nil && (e.lastSample == 0 || e.lastSample != e.now) {
@@ -333,6 +300,46 @@ func (e *engine) run() {
 	}
 }
 
+// stepOnce advances the run by one active global step — adversary
+// observation, deliveries, local steps, sampling — and reports whether it
+// did. It returns false at a horizon or event-budget cutoff (setting
+// horizonHit) so run's loop stops. Callers must have checked quiescent
+// first. It is extracted from run so the allocation-regression tests can
+// drive the steady-state loop step by step under testing.AllocsPerRun;
+// with tracing, sampling, intervals, and the adversary all absent, one
+// call allocates nothing after warm-up — the property alloc_test.go pins.
+func (e *engine) stepOnce() bool {
+	t, ok := e.nextEventTime()
+	if !ok {
+		// Unreachable: a non-quiescent system always has either an
+		// awake (hence schedulable) process, a pending mailbox, or a
+		// message in flight. Treat it as a cutoff rather than hanging.
+		e.horizonHit = true
+		return false
+	}
+	if t > e.horizon || e.eventCount > e.maxEvents {
+		e.horizonHit = true
+		return false
+	}
+	e.now = t
+	e.st.ActiveSteps++
+	if e.statsEvery > 0 && t >= e.interval.Start+e.statsEvery {
+		e.closeInterval(t)
+	}
+	if e.adv != nil {
+		events := e.sendLog
+		e.sendLog = e.sendLog[:0]
+		e.adv.Observe(t, events, NewView(e), NewControl(e))
+	}
+	e.deliver(t)
+	e.localSteps(t)
+	if e.cfg.Sample != nil && t >= e.lastSample+e.cfg.SampleEvery {
+		e.lastSample = t
+		e.cfg.Sample(e.snapshot())
+	}
+	return true
+}
+
 // closeInterval seals the open stats window at boundary (exclusive) and
 // opens the next one there. Windows with no activity are dropped: a
 // delay-heavy run spends most of its global-step range in gaps where
@@ -348,24 +355,26 @@ func (e *engine) closeInterval(boundary Step) {
 	e.interval = IntervalStats{Start: boundary}
 }
 
-// countKind increments the send counter of payload kind k. Kinds live in
-// a small slice probed linearly with an MRU cache — protocols use a
-// handful of kinds and consecutive sends overwhelmingly share one, so the
-// common case is a single string comparison and no map or allocation.
-func (e *engine) countKind(k string) {
+// kindIndex resolves payload kind k to its index in the per-kind send
+// counters, registering it on first sight. Kinds live in a small slice
+// probed linearly with an MRU cache — protocols use a handful of kinds and
+// consecutive interns overwhelmingly share one, so the common case is a
+// single string comparison and no map or allocation. The string probe runs
+// once per *interned payload* (commitOne's resolution loop); the per-send
+// count is an integer increment against the returned index.
+func (e *engine) kindIndex(k string) int32 {
 	if e.lastKind < len(e.kinds) && e.kinds[e.lastKind].Kind == k {
-		e.kinds[e.lastKind].Count++
-		return
+		return int32(e.lastKind)
 	}
 	for i := range e.kinds {
 		if e.kinds[i].Kind == k {
-			e.kinds[i].Count++
 			e.lastKind = i
-			return
+			return int32(i)
 		}
 	}
-	e.kinds = append(e.kinds, KindCount{Kind: k, Count: 1})
+	e.kinds = append(e.kinds, KindCount{Kind: k})
 	e.lastKind = len(e.kinds) - 1
+	return int32(e.lastKind)
 }
 
 // interrupted reports whether the run should stop early: its Cancel
@@ -398,7 +407,7 @@ func (e *engine) nextEventTime() (Step, bool) {
 // nextBoundary returns the earliest local-step boundary of p that is
 // strictly after the current step.
 func (e *engine) nextBoundary(p ProcID) Step {
-	a, d := e.anchor[p], e.delta[p]
+	a, d := e.pt.anchor[p], e.pt.delta[p]
 	min := e.now + 1
 	if a+d >= min {
 		return a + d
@@ -409,8 +418,8 @@ func (e *engine) nextBoundary(p ProcID) Step {
 
 // boundaryAt reports whether p has a local-step boundary exactly at t.
 func (e *engine) boundaryAt(p ProcID, t Step) bool {
-	a := e.anchor[p]
-	return t > a && (t-a)%e.delta[p] == 0
+	a := e.pt.anchor[p]
+	return t > a && (t-a)%e.pt.delta[p] == 0
 }
 
 // boundaryOnOrAfter returns p's earliest local-step boundary ≥ t, where t
@@ -430,26 +439,34 @@ func (e *engine) deliver(t Step) {
 	}
 	for _, m := range bucket {
 		e.inflight--
-		if e.crashed[m.To] {
-			// inflightTo[m.To] was zeroed when To crashed; just drop.
+		to := ProcID(m.to)
+		if e.pt.crashed(to) {
+			// inflightTo[to] was zeroed when to crashed; just drop.
 			e.st.DroppedCrashed++
+			e.ptab.release(m.ref)
 			continue
 		}
 		e.st.Deliveries++
 		if e.statsEvery > 0 {
 			e.interval.Deliveries++
 		}
-		e.pending[m.To] = append(e.pending[m.To], m)
-		e.pendingCount[m.To]++
+		// Materialize the boxed Message here, at the protocol boundary —
+		// the only point the payload ref becomes an interface value again.
+		pl := e.ptab.val(m.ref)
+		e.pt.mail[to] = append(e.pt.mail[to], Message{
+			From: ProcID(m.from), To: to, SentAt: m.sentAt, DeliverAt: t, Payload: pl,
+		})
+		e.ptab.release(m.ref)
+		e.pt.pendingCount[to]++
 		e.totalPending++
-		e.inflightTo[m.To]--
+		e.pt.inflightTo[to]--
 		e.inflightToCorrect--
-		if e.sched.scheduledAt(m.To) == noSchedule {
+		if e.sched.scheduledAt(to) == noSchedule {
 			// Mail woke a sleeping process: index its next boundary.
-			e.sched.scheduleProc(m.To, e.boundaryOnOrAfter(m.To, t))
+			e.sched.scheduleProc(to, e.boundaryOnOrAfter(to, t))
 		}
 		if e.cfg.Trace != nil {
-			e.trace(TraceEvent{Kind: TraceArrive, Step: t, Proc: m.To, Other: m.From, Payload: m.Payload})
+			e.trace(TraceEvent{Kind: TraceArrive, Step: t, Proc: to, Other: ProcID(m.from), Payload: pl})
 		}
 	}
 	if e.totalPending > e.st.MaxPending {
@@ -484,68 +501,85 @@ func (e *engine) localSteps(t Step) {
 func (e *engine) stepOne(t Step, p ProcID) {
 	ob := &e.outboxes[p]
 	ob.reset(p, e.n)
-	e.procs[p].Step(t, e.pending[p], ob)
+	e.procs[p].Step(t, e.pt.mail[p], ob)
 }
 
 // commitOne publishes the effects of p's local step: mailbox consumption,
-// sleep/wake transitions, and sends. Must run serially in process order.
+// sleep/wake transitions, and sends. Must run serially in process order —
+// it is also the only phase that touches the shared payload table, which
+// is what keeps the table lock-free under parallel stepping.
 func (e *engine) commitOne(t Step, p ProcID) {
 	if e.cfg.Trace != nil {
 		e.trace(TraceEvent{Kind: TraceLocalStep, Step: t, Proc: p, Other: -1})
 	}
-	e.anchor[p] = t
-	e.totalPending -= e.pendingCount[p]
-	e.pendingCount[p] = 0
-	e.pending[p] = e.pending[p][:0]
+	e.pt.anchor[p] = t
+	e.totalPending -= e.pt.pendingCount[p]
+	e.pt.pendingCount[p] = 0
+	e.pt.clearMail(p)
 	e.eventCount++
 	e.st.LocalSteps++
 
 	ob := &e.outboxes[p]
-	for _, d := range ob.drafts {
-		e.msgTotal++
-		e.sent[p]++
-		e.lastSend[p] = t
-		e.eventCount++
+	// Resolve the staged payloads of this local step into run-table slots,
+	// one intern per distinct value. Staging order is first-send order, so
+	// kinds register in the same order countKind used to see them.
+	res := e.resolve[:0]
+	for _, pl := range ob.staged {
 		kind := "?"
-		if d.payload != nil {
-			kind = d.payload.Kind()
+		if pl != nil {
+			kind = pl.Kind()
 		}
-		e.countKind(kind)
+		res = append(res, e.ptab.intern(pl, e.kindIndex(kind)))
+	}
+	e.resolve = res
+	omitted := e.pt.omitted(p)
+	for _, d := range ob.drafts {
+		to := ProcID(d.to)
+		ref := res[d.pi]
+		e.msgTotal++
+		e.pt.sent[p]++
+		e.pt.lastSend[p] = t
+		e.eventCount++
+		e.kinds[e.ptab.kindOf(ref)].Count++
 		if e.statsEvery > 0 {
 			e.interval.Sends++
-			e.interval.DelayHist[delayBucket(e.delay[p])]++
+			e.interval.DelayHist[delayBucket(e.pt.delay[p])]++
 		}
-		deliverAt := t + e.delay[p]
+		deliverAt := t + e.pt.delay[p]
 		if e.adv != nil {
 			// Only an adversary reads the send log; without one, appending
 			// would grow an O(M) slice nobody drains.
-			e.sendLog = append(e.sendLog, SendRecord{From: p, To: d.to, SentAt: t, DeliverAt: deliverAt})
+			e.sendLog = append(e.sendLog, SendRecord{From: p, To: to, SentAt: t, DeliverAt: deliverAt})
 		}
 		if e.cfg.Trace != nil {
-			e.trace(TraceEvent{Kind: TraceSend, Step: t, Proc: p, Other: d.to, Payload: d.payload})
+			e.trace(TraceEvent{Kind: TraceSend, Step: t, Proc: p, Other: to, Payload: ob.staged[d.pi]})
 		}
-		if e.crashed[d.to] || e.omitted[p] {
+		if e.pt.crashed(to) || omitted {
 			// Counted in M(O), but undeliverable.
-			if e.crashed[d.to] {
+			if e.pt.crashed(to) {
 				e.st.DroppedCrashed++
 			} else {
 				e.st.OmittedSends++
 			}
 			continue
 		}
-		if e.cal.add(deliverAt, Message{
-			From: p, To: d.to, SentAt: t, DeliverAt: deliverAt, Payload: d.payload,
-		}) {
+		if e.cal.add(deliverAt, imessage{from: int32(p), to: d.to, ref: ref, sentAt: t}) {
 			e.sched.scheduleDelivery(deliverAt)
 		}
+		e.ptab.incref(ref)
 		e.inflight++
 		if e.inflight > e.st.MaxInFlight {
 			e.st.MaxInFlight = e.inflight
 		}
-		e.inflightTo[d.to]++
+		e.pt.inflightTo[to]++
 		e.inflightToCorrect++
 	}
-	ob.drafts = ob.drafts[:0]
+	// Reclaim slots whose every send was dropped before reaching the
+	// calendar, then release the staged interface values.
+	for _, ref := range res {
+		e.ptab.sweep(ref)
+	}
+	ob.clear()
 
 	if c, ok := e.procs[p].(Committer); ok {
 		c.Commit(t)
@@ -553,8 +587,8 @@ func (e *engine) commitOne(t Step, p ProcID) {
 
 	asleep := e.procs[p].Asleep()
 	switch {
-	case asleep && e.awake[p]:
-		e.awake[p] = false
+	case asleep && e.pt.awake(p):
+		e.pt.setAwake(p, false)
 		e.awakeCorrect--
 		e.st.Sleeps++
 		if e.statsEvery > 0 {
@@ -563,8 +597,8 @@ func (e *engine) commitOne(t Step, p ProcID) {
 		if e.cfg.Trace != nil {
 			e.trace(TraceEvent{Kind: TraceSleep, Step: t, Proc: p, Other: -1})
 		}
-	case !asleep && !e.awake[p]:
-		e.awake[p] = true
+	case !asleep && !e.pt.awake(p):
+		e.pt.setAwake(p, true)
 		e.awakeCorrect++
 		e.st.Wakes++
 		if e.statsEvery > 0 {
@@ -577,8 +611,8 @@ func (e *engine) commitOne(t Step, p ProcID) {
 
 	// Reindex: the mailbox is empty now, so p is schedulable iff awake.
 	// collectDue cleared p's key when it put p in the due set.
-	if e.awake[p] {
-		e.sched.scheduleProc(p, t+e.delta[p])
+	if e.pt.awake(p) {
+		e.sched.scheduleProc(p, t+e.pt.delta[p])
 	} else {
 		e.sched.unscheduleProc(p)
 	}
@@ -621,21 +655,21 @@ func (e *engine) stepParallel(t Step, due []ProcID) {
 }
 
 func (e *engine) crashProcess(p ProcID) {
-	e.crashed[p] = true
+	e.pt.setCrashed(p)
 	e.crashCount++
 	e.st.Crashes++
 	if e.statsEvery > 0 {
 		e.interval.Crashes++
 	}
-	if e.awake[p] {
-		e.awake[p] = false
+	if e.pt.awake(p) {
+		e.pt.setAwake(p, false)
 		e.awakeCorrect--
 	}
-	e.totalPending -= e.pendingCount[p]
-	e.pendingCount[p] = 0
-	e.pending[p] = nil
-	e.inflightToCorrect -= e.inflightTo[p]
-	e.inflightTo[p] = 0
+	e.totalPending -= e.pt.pendingCount[p]
+	e.pt.pendingCount[p] = 0
+	e.pt.mail[p] = nil // drop the buffer: a crashed mailbox is never read again
+	e.inflightToCorrect -= e.pt.inflightTo[p]
+	e.pt.inflightTo[p] = 0
 	e.sched.unscheduleProc(p)
 	e.trace(TraceEvent{Kind: TraceCrash, Step: e.now, Proc: p, Other: -1})
 }
@@ -664,17 +698,17 @@ func (e *engine) outcome() Outcome {
 		o.Strategy = e.adv.Label()
 	}
 	for p := 0; p < e.n; p++ {
-		if e.crashed[p] {
+		if e.pt.crashed(ProcID(p)) {
 			continue
 		}
-		if e.lastSend[p] > o.TEnd {
-			o.TEnd = e.lastSend[p]
+		if e.pt.lastSend[p] > o.TEnd {
+			o.TEnd = e.pt.lastSend[p]
 		}
-		if e.delta[p] > o.DeltaMax {
-			o.DeltaMax = e.delta[p]
+		if e.pt.delta[p] > o.DeltaMax {
+			o.DeltaMax = e.pt.delta[p]
 		}
-		if e.delay[p] > o.DelayMax {
-			o.DelayMax = e.delay[p]
+		if e.pt.delay[p] > o.DelayMax {
+			o.DelayMax = e.pt.delay[p]
 		}
 	}
 	if norm := o.DeltaMax + o.DelayMax; norm > 0 {
@@ -682,7 +716,7 @@ func (e *engine) outcome() Outcome {
 	}
 	o.Gathered = e.gathered()
 	if e.cfg.KeepPerProcess {
-		o.PerProcessMsgs = append([]int64(nil), e.sent...)
+		o.PerProcessMsgs = append([]int64(nil), e.pt.sent...)
 	}
 	o.Stats = e.stats()
 	return o
@@ -718,11 +752,11 @@ func (e *engine) snapshot() Snapshot {
 	}
 	known, pairs := 0, 0
 	for p := 0; p < e.n; p++ {
-		if e.crashed[p] {
+		if e.pt.crashed(ProcID(p)) {
 			continue
 		}
 		for q := 0; q < e.n; q++ {
-			if q == p || e.crashed[q] {
+			if q == p || e.pt.crashed(ProcID(q)) {
 				continue
 			}
 			pairs++
@@ -739,11 +773,11 @@ func (e *engine) snapshot() Snapshot {
 // knows the gossip of every correct process.
 func (e *engine) gathered() bool {
 	for p := 0; p < e.n; p++ {
-		if e.crashed[p] {
+		if e.pt.crashed(ProcID(p)) {
 			continue
 		}
 		for q := 0; q < e.n; q++ {
-			if q == p || e.crashed[q] {
+			if q == p || e.pt.crashed(ProcID(q)) {
 				continue
 			}
 			if !e.procs[p].Knows(ProcID(q)) {

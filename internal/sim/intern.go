@@ -1,0 +1,108 @@
+package sim
+
+import "unsafe"
+
+// Payload interning.
+//
+// The delivery path used to carry the boxed Payload interface value inside
+// every in-flight Message — 16 bytes of interface header per copy, pinned
+// in calendar buckets for the full flight time, re-scanned by the GC, and
+// re-boxed at every fan-out. The run's payload table replaces that with
+// small-integer handles: the Outbox stages the distinct payload values of
+// one local step, the commit phase interns each staged value into the table
+// exactly once, and everything downstream — calendar buckets, delivery,
+// drop accounting — moves 4-byte refs. The boxed value is materialized
+// again only at the protocol boundary, when a delivery lands in a mailbox
+// as a Message, so protocols (and the naive oracle, which never sees the
+// table) are untouched.
+//
+// Slot lifetime: intern creates a slot with a zero reference count; the
+// commit loop increments it once per calendar copy that survives the
+// crash/omission drop checks; delivery (or the dropped-at-crashed path)
+// decrements it, and the slot is recycled through the free list the moment
+// its count returns to zero. Staged payloads whose every send was dropped
+// are swept back immediately after the commit loop. A slot therefore lives
+// exactly as long as calendar entries point at it, the table's footprint is
+// bounded by the number of *distinct* payloads in flight (one slot for a
+// broadcast fan-out of N−1 copies), and steady-state interning allocates
+// nothing.
+
+// nilPayloadRef is never stored; refs are always valid slot indexes. It is
+// the "unresolved" marker of the commit phase's staging-index scratch.
+const nilPayloadRef int32 = -1
+
+// payloadSlot is one interned payload: the boxed value, its live calendar
+// reference count, and the run-table index of its kind string (so per-send
+// kind accounting is an integer increment, not a string probe).
+type payloadSlot struct {
+	val  Payload
+	refs int32
+	kind int32
+}
+
+// payloadTable is the per-run payload arena. The zero value is ready to
+// use; it grows to the run's peak distinct-payloads-in-flight and then
+// recycles slots through the free list.
+type payloadTable struct {
+	slots []payloadSlot
+	free  []int32
+}
+
+// intern stores val in a fresh slot with a zero reference count and
+// returns its ref. kind is the engine's kind-table index for val's Kind().
+func (t *payloadTable) intern(val Payload, kind int32) int32 {
+	var ref int32
+	if n := len(t.free); n > 0 {
+		ref = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		t.slots = append(t.slots, payloadSlot{})
+		ref = int32(len(t.slots) - 1)
+	}
+	s := &t.slots[ref]
+	s.val, s.refs, s.kind = val, 0, kind
+	return ref
+}
+
+// incref records one more calendar copy of the slot.
+func (t *payloadTable) incref(ref int32) { t.slots[ref].refs++ }
+
+// release drops one calendar copy; the last release recycles the slot and
+// unpins the boxed value.
+func (t *payloadTable) release(ref int32) {
+	s := &t.slots[ref]
+	if s.refs--; s.refs <= 0 {
+		s.val = nil
+		t.free = append(t.free, ref)
+	}
+}
+
+// sweep recycles a freshly interned slot that ended the commit loop with
+// no calendar copies (every send of its payload was dropped).
+func (t *payloadTable) sweep(ref int32) {
+	if s := &t.slots[ref]; s.refs == 0 {
+		s.val = nil
+		t.free = append(t.free, ref)
+	}
+}
+
+// val returns the boxed payload of a live slot.
+func (t *payloadTable) val(ref int32) Payload { return t.slots[ref].val }
+
+// kindOf returns the kind-table index of a live slot.
+func (t *payloadTable) kindOf(ref int32) int32 { return t.slots[ref].kind }
+
+// live reports how many slots are currently referenced — the distinct
+// payloads in flight. Exposed for the intern-table regression tests.
+func (t *payloadTable) live() int { return len(t.slots) - len(t.free) }
+
+// samePayload reports whether two Payload interface values are *identical*:
+// same dynamic type and same data word. It is the Outbox's dedup predicate.
+// Identical headers imply equal values, so there are no false positives;
+// separately boxed but equal values compare false, which merely costs a
+// duplicate slot, never correctness. Pre-boxed package-level payloads (and
+// all zero-size payloads, which share the runtime's zero base) are what
+// make fan-outs collapse to one slot.
+func samePayload(a, b Payload) bool {
+	return *(*[2]uintptr)(unsafe.Pointer(&a)) == *(*[2]uintptr)(unsafe.Pointer(&b))
+}

@@ -80,41 +80,83 @@ type Process interface {
 // Outbox collects the sends of one local step. The engine stamps send and
 // delivery times and routes the messages; processes only choose recipients
 // and payloads.
+//
+// Internally the Outbox separates *which* payloads were sent from *where*:
+// drafts hold (recipient, staging index) pairs, and the staging table holds
+// each distinct payload value once. A fan-out that hands Send the same
+// interface value for every recipient — the idiom all protocols here use —
+// stages one table entry no matter how many drafts reference it, which is
+// what previously re-wrapped the shared payload per destination and now
+// lets the engine intern it into one run-table slot. Dedup is by interface
+// identity (samePayload, intern.go) against the most recent staged payload;
+// fan-out loops send runs of the same value, so one memo catches them.
 type Outbox struct {
 	from   ProcID
 	n      int
-	drafts []draft
+	drafts []odraft
+	staged []Payload // distinct payloads of this local step, in first-send order
+
+	lastStaged Payload // memo: most recently staged payload …
+	lastPI     int32   // … and its staging index, or -1
+
+	// stagedArr and draftArr initially back staged and drafts: nearly
+	// every local step stages a handful of distinct payloads and many
+	// processes never send more than a few messages per step, so the
+	// inline arrays make light outboxes allocation-free for the life of a
+	// run. A step that outgrows one spills that slice onto the heap once;
+	// clear keeps whatever backing a slice has, so a spill never repeats.
+	// (After a spill stagedArr may pin up to 4 stale payload boxes —
+	// tiny, run-scoped values, deliberately not scrubbed on the hot
+	// path.)
+	stagedArr [4]Payload
+	draftArr  [4]odraft
 }
 
-type draft struct {
-	to      ProcID
-	payload Payload
+// odraft is one queued send: the recipient and the staging index of its
+// payload. Both fit in 4 bytes (newEngine guards N < 2³¹).
+type odraft struct {
+	to, pi int32
 }
 
 // NewOutbox returns an Outbox collecting sends from the given process in a
 // system of n processes. The engine manages its own outboxes; this
-// constructor exists for protocol unit tests and custom drivers.
+// constructor exists for protocol unit tests, custom drivers, and the
+// reference engine in sim/oracle.
 func NewOutbox(from ProcID, n int) Outbox {
 	var o Outbox
 	o.reset(from, n)
 	return o
 }
 
-// Drain returns the queued sends as (to, payload) messages and empties the
-// outbox. Like NewOutbox it exists for tests and custom drivers.
+// Drain returns the queued sends as (to, payload) messages, in Send order,
+// and empties the outbox. Like NewOutbox it exists for tests and custom
+// drivers; the production engine reads the drafts and staging table
+// directly (commitOne) and never materializes this slice.
 func (o *Outbox) Drain() []Message {
 	msgs := make([]Message, len(o.drafts))
 	for i, d := range o.drafts {
-		msgs[i] = Message{From: o.from, To: d.to, Payload: d.payload}
+		msgs[i] = Message{From: o.from, To: ProcID(d.to), Payload: o.staged[d.pi]}
 	}
-	o.drafts = o.drafts[:0]
+	o.clear()
 	return msgs
 }
 
 func (o *Outbox) reset(from ProcID, n int) {
 	o.from = from
 	o.n = n
+	o.clear()
+}
+
+// clear empties the drafts and the staging table, nil-ing staged entries so
+// the retained storage does not pin payloads past the local step.
+func (o *Outbox) clear() {
 	o.drafts = o.drafts[:0]
+	for i := range o.staged {
+		o.staged[i] = nil
+	}
+	o.staged = o.staged[:0]
+	o.lastStaged = nil
+	o.lastPI = -1
 }
 
 // Send queues one message to process to. It panics if to is out of range
@@ -127,8 +169,28 @@ func (o *Outbox) Send(to ProcID, payload Payload) {
 	if to == o.from {
 		panic("sim: process sent a message to itself")
 	}
-	o.drafts = append(o.drafts, draft{to: to, payload: payload})
+	pi := o.lastPI
+	if pi < 0 || !samePayload(payload, o.lastStaged) {
+		if o.staged == nil {
+			// Bind here rather than in reset: NewOutbox returns by value,
+			// and binding before that copy would alias the wrong array.
+			o.staged = o.stagedArr[:0]
+		}
+		o.staged = append(o.staged, payload)
+		pi = int32(len(o.staged) - 1)
+		o.lastStaged = payload
+		o.lastPI = pi
+	}
+	if o.drafts == nil {
+		o.drafts = o.draftArr[:0]
+	}
+	o.drafts = append(o.drafts, odraft{to: int32(to), pi: pi})
 }
 
 // Len reports how many messages have been queued this local step.
 func (o *Outbox) Len() int { return len(o.drafts) }
+
+// distinct reports how many payload values are staged — the slot count the
+// engine will intern for this local step. Exposed for the fan-out dedup
+// regression tests.
+func (o *Outbox) distinct() int { return len(o.staged) }

@@ -1,0 +1,10 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether this binary was built with the race
+// detector. The allocation-regression tests consult it: race
+// instrumentation allocates on paths that are allocation-free in normal
+// builds, so the zero-alloc assertions only hold — and only run — without
+// -race.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether this binary was built with the race
+// detector. See race_off.go.
+const raceEnabled = true

@@ -104,7 +104,7 @@ func TestSchedulerDueSetSorted(t *testing.T) {
 func TestCalendarRecyclesBuckets(t *testing.T) {
 	var c calendar
 	c.init()
-	msg := func(to ProcID) Message { return Message{From: 0, To: to, Payload: testPayload{kind: "x"}} }
+	msg := func(to int32) imessage { return imessage{from: 0, to: to, ref: 7} }
 
 	if !c.add(10, msg(1)) {
 		t.Fatal("first add must create the bucket")
@@ -113,7 +113,7 @@ func TestCalendarRecyclesBuckets(t *testing.T) {
 		t.Fatal("second add to same step must not re-create the bucket")
 	}
 	b := c.take(10)
-	if len(b) != 2 || b[0].To != 1 || b[1].To != 2 {
+	if len(b) != 2 || b[0].to != 1 || b[1].to != 2 {
 		t.Fatalf("bucket = %v", b)
 	}
 	if c.take(10) != nil {
@@ -129,7 +129,7 @@ func TestCalendarRecyclesBuckets(t *testing.T) {
 	if &b[:1][0] != &b2[:1][0] {
 		t.Error("released bucket storage was not recycled")
 	}
-	if b2[0].To != 3 {
+	if b2[0].to != 3 {
 		t.Fatalf("recycled bucket content = %v", b2)
 	}
 	c.release(b2)

@@ -17,19 +17,19 @@ func (e *engine) CrashBudget() int { return e.cfg.F }
 func (e *engine) Now() Step { return e.now }
 
 // Crashed implements System.
-func (e *engine) Crashed(p ProcID) bool { return e.crashed[p] }
+func (e *engine) Crashed(p ProcID) bool { return e.pt.crashed(p) }
 
 // Asleep implements System.
-func (e *engine) Asleep(p ProcID) bool { return !e.crashed[p] && !e.awake[p] }
+func (e *engine) Asleep(p ProcID) bool { return !e.pt.crashed(p) && !e.pt.awake(p) }
 
 // SentCount implements System.
-func (e *engine) SentCount(p ProcID) int64 { return e.sent[p] }
+func (e *engine) SentCount(p ProcID) int64 { return e.pt.sent[p] }
 
 // Delta implements System.
-func (e *engine) Delta(p ProcID) Step { return e.delta[p] }
+func (e *engine) Delta(p ProcID) Step { return e.pt.delta[p] }
 
 // Delay implements System.
-func (e *engine) Delay(p ProcID) Step { return e.delay[p] }
+func (e *engine) Delay(p ProcID) Step { return e.pt.delay[p] }
 
 // CrashCount implements System.
 func (e *engine) CrashCount() int { return e.crashCount }
@@ -37,7 +37,7 @@ func (e *engine) CrashCount() int { return e.crashCount }
 // Crash implements System: it enforces the range, already-crashed and
 // budget guards, then fails the process immediately.
 func (e *engine) Crash(p ProcID) bool {
-	if p < 0 || int(p) >= e.n || e.crashed[p] || e.crashCount >= e.cfg.F {
+	if p < 0 || int(p) >= e.n || e.pt.crashed(p) || e.crashCount >= e.cfg.F {
 		return false
 	}
 	e.crashProcess(p)
@@ -54,8 +54,8 @@ func (e *engine) SetDelta(p ProcID, v Step) {
 		panic("sim: SetDelta with non-positive step time")
 	}
 	e.st.DeltaRewrites++
-	e.delta[p] = v
-	e.anchor[p] = e.now
+	e.pt.delta[p] = v
+	e.pt.anchor[p] = e.now
 	if e.sched.scheduledAt(p) != noSchedule {
 		// Schedulable process: its next boundary moved to now + v.
 		// Crashed or sleeping processes stay out of the index; a later
@@ -75,7 +75,7 @@ func (e *engine) SetDelay(p ProcID, v Step) {
 		panic("sim: SetDelay with non-positive delivery time")
 	}
 	e.st.DelayRewrites++
-	e.delay[p] = v
+	e.pt.delay[p] = v
 	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "delay"})
 }
 
@@ -85,6 +85,6 @@ func (e *engine) SetOmitFrom(p ProcID, omit bool) {
 		panic("sim: SetOmitFrom on process out of range")
 	}
 	e.st.OmitRewrites++
-	e.omitted[p] = omit
+	e.pt.setOmitted(p, omit)
 	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "omit"})
 }

@@ -1,0 +1,49 @@
+package simtest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+// TestRing100kSmoke runs the engine at N=100,000 — three orders of
+// magnitude past the generated differential band — and holds it to a
+// wall-clock and allocation budget. The budgets are deliberately loose
+// (the rewrite runs this in tens of milliseconds and tens of megabytes);
+// they are tripwires for catastrophic regressions — an accidental O(N)
+// scan per step or per-message boxing creeping back into the hot path —
+// not performance assertions, which live in the bench gate.
+//
+// Skipped under -short: tier-1 quick runs stay flat.
+func TestRing100kSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-process smoke run skipped under -short")
+	}
+	const n = 100_000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	o, err := sim.Run(sim.Config{N: n, Protocol: Ring{Laps: 1}, Seed: 0x100c})
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.HorizonHit {
+		t.Fatal("ring/100k hit the event horizon instead of quiescing")
+	}
+	if o.Messages != n {
+		t.Errorf("Messages = %d, want %d (one token pass per process)", o.Messages, n)
+	}
+	allocMB := float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
+	t.Logf("ring/100k: %v wall, %.1f MB allocated, %d events", elapsed, allocMB, o.Stats.Events)
+	if wallBudget := 60 * time.Second; elapsed > wallBudget {
+		t.Errorf("wall clock %v exceeds budget %v", elapsed, wallBudget)
+	}
+	if allocBudget := 256.0; allocMB > allocBudget {
+		t.Errorf("allocated %.1f MB exceeds budget %.0f MB", allocMB, allocBudget)
+	}
+}

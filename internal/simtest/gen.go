@@ -21,6 +21,16 @@ const genDomain uint64 = 0x67656e // "gen"
 type Case struct {
 	Name string
 	Cfg  sim.Config
+	// Big marks a case drawn from the large-N band (genBig). Properties
+	// keep their semantic checks on big cases but drop purely
+	// representational extras whose cost scales with the event count —
+	// today, the JSONL trace round-trip.
+	Big bool
+	// SkipOracle marks cases past the naive oracle's tractable bound —
+	// its per-step O(N) scans make dense big-N runs quadratic — so the
+	// differential property skips them and the remaining properties
+	// (serial≡workers, determinism, trace audit) carry the coverage.
+	SkipOracle bool
 }
 
 // Gen derives a pseudo-random configuration from genSeed: system size,
@@ -32,6 +42,10 @@ type Case struct {
 // adversary with crashes, rewrites, omission, and cutoff behavior.
 func Gen(genSeed uint64) Case {
 	r := xrand.New(xrand.Derive(genSeed, genDomain))
+
+	if r.Intn(12) == 0 {
+		return genBig(r, genSeed)
+	}
 
 	var n int
 	switch r.Intn(4) {
@@ -78,6 +92,48 @@ func Gen(genSeed uint64) Case {
 	return Case{
 		Name: fmt.Sprintf("gen-%#x/%s/%s/n=%d/f=%d/seed=%#x", genSeed, pname, aname, n, f, cfg.Seed),
 		Cfg:  cfg,
+	}
+}
+
+// oracleEventBudget bounds the naive oracle's cost on a generated case:
+// activeSteps × N, the dominant term of its per-step O(N) scans. Cases
+// above it set SkipOracle — at ring/50k the oracle alone would run 2.5
+// billion scan iterations per differential run.
+const oracleEventBudget = 60_000_000
+
+// genBig draws a large-N case from the synthetic engine workloads
+// (workload.go): N from 1k to 50k, a workload with O(1) per-process
+// state, and occasionally a Script adversary so crashes, rewrites, and
+// omission are exercised at scale too. KeepPerProcess stays off — an
+// O(N) outcome column per case would dominate diffing, not the engine.
+func genBig(r *xrand.RNG, genSeed uint64) Case {
+	sizes := []int{1000, 2000, 4000, 8000, 16000, 32000, 50000}
+	n := sizes[r.Intn(len(sizes))]
+	proto, label, activeSteps := bigWorkload(r.Intn(3), n)
+
+	var adv sim.Adversary
+	aname := "none"
+	if r.Intn(3) == 0 {
+		aname = "script"
+		adv = genScript(r, n)
+	}
+
+	cfg := sim.Config{
+		N:         n,
+		F:         r.Intn(64),
+		Protocol:  proto,
+		Adversary: adv,
+		Seed:      r.Uint64(),
+	}
+	if r.Bernoulli(0.25) {
+		cfg.StatsEvery = 1 << r.Intn(10)
+	}
+
+	return Case{
+		Name:       fmt.Sprintf("gen-%#x/big-%s/%s/n=%d/seed=%#x", genSeed, label, aname, n, cfg.Seed),
+		Cfg:        cfg,
+		Big:        true,
+		SkipOracle: activeSteps*int64(n) > oracleEventBudget,
 	}
 }
 

@@ -1,0 +1,199 @@
+package simtest
+
+import (
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+// Engine-scale workloads.
+//
+// The gossip protocols of the paper carry Θ(N)-bit knowledge per process
+// (bitsets, version vectors), so running them at N in the hundreds of
+// thousands is a protocol-memory problem, not an engine problem. The
+// workloads here are the complement: protocols with O(1) state per
+// process and a bounded event budget, so a run's cost is pure engine
+// cost — scheduling, delivery, payload interning, mailbox churn. They
+// back the big-N band of the config generator (gen.go), the ring/100k
+// smoke test, and the BenchmarkEngineBigN benchmarks in internal/sim.
+//
+// All three draw randomness exclusively from Env.RNG and keep the
+// engine/oracle determinism contract, so big-N cases remain subject to
+// the differential, metamorphic, and trace properties.
+
+// Payloads are pre-boxed package singletons: sends hand the engine the
+// same interface value every time, which is what lets the steady-state
+// engine loop run allocation-free and the Outbox intern fan-outs once.
+var (
+	tokenPl sim.Payload = wlPayload{k: "token"}
+	gossPl  sim.Payload = wlPayload{k: "goss"}
+	pullPl  sim.Payload = wlPayload{k: "pull-req"}
+	pushPl  sim.Payload = wlPayload{k: "push"}
+)
+
+type wlPayload struct{ k string }
+
+func (p wlPayload) Kind() string { return p.k }
+
+// Ring is a token ring: process 0 emits a token that hops to the next
+// process, Laps times around. Exactly one process is active per global
+// step, which makes it the sparsest possible scheduling workload —
+// N·Laps events spread over N·Laps distinct steps. It is the engine
+// benchmark workload of PR 1 promoted to a reusable protocol.
+type Ring struct {
+	// Laps is how many times the token circles the ring; 0 means 1.
+	Laps int
+}
+
+// Name implements sim.Protocol.
+func (Ring) Name() string { return "wl-ring" }
+
+// New implements sim.Protocol. Process state is batch-allocated — one
+// backing array, not one heap object per process — the idiom any protocol
+// intended for very large N should follow.
+func (r Ring) New(envs []sim.Env) []sim.Process {
+	laps := r.Laps
+	if laps < 1 {
+		laps = 1
+	}
+	backing := make([]ringProc, len(envs))
+	procs := make([]sim.Process, len(envs))
+	for i, env := range envs {
+		backing[i] = ringProc{env: env, laps: laps}
+		procs[i] = &backing[i]
+	}
+	return procs
+}
+
+type ringProc struct {
+	env    sim.Env
+	laps   int
+	passed int
+	booted bool
+}
+
+func (p *ringProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outbox) {
+	forward := false
+	if p.env.ID == 0 && !p.booted {
+		p.booted = true
+		forward = true
+	}
+	for range delivered {
+		forward = true
+	}
+	if forward && p.passed < p.laps && p.env.N > 1 {
+		p.passed++
+		out.Send(sim.ProcID((int(p.env.ID)+1)%p.env.N), tokenPl)
+	}
+}
+
+func (p *ringProc) Asleep() bool            { return p.env.ID != 0 || p.booted }
+func (p *ringProc) Knows(g sim.ProcID) bool { return g == p.env.ID }
+
+// Stagger is a dense-to-sparse dissemination curve: every process sends
+// one message per local step to a uniformly random peer, and process i
+// stays busy for 1 + i mod Rounds local steps, so activity thins out
+// step by step instead of stopping all at once. Event budget ≈
+// N·(Rounds+1)/2 sends.
+type Stagger struct {
+	// Rounds bounds the per-process active steps; 0 means 8.
+	Rounds int
+}
+
+// Name implements sim.Protocol.
+func (Stagger) Name() string { return "wl-stagger" }
+
+// New implements sim.Protocol. Batch-allocated like Ring.New.
+func (s Stagger) New(envs []sim.Env) []sim.Process {
+	rounds := s.Rounds
+	if rounds < 1 {
+		rounds = 8
+	}
+	backing := make([]staggerProc, len(envs))
+	procs := make([]sim.Process, len(envs))
+	for i, env := range envs {
+		backing[i] = staggerProc{env: env, rounds: 1 + int(env.ID)%rounds}
+		procs[i] = &backing[i]
+	}
+	return procs
+}
+
+type staggerProc struct {
+	env    sim.Env
+	rounds int
+	done   int
+}
+
+func (p *staggerProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outbox) {
+	if p.done < p.rounds && p.env.N > 1 {
+		p.done++
+		out.Send(sim.ProcID(p.env.RNG.IntnExcept(p.env.N, int(p.env.ID))), gossPl)
+	}
+}
+
+func (p *staggerProc) Asleep() bool            { return p.done >= p.rounds }
+func (p *staggerProc) Knows(g sim.ProcID) bool { return g == p.env.ID }
+
+// PullServe is the engine-scale silhouette of Push-Pull: every process
+// sends Pulls pull requests to uniformly random peers (one per local
+// step) and answers every request it receives with a push — including
+// while asleep, the same serve-after-completion semantics that makes
+// real Push-Pull's sleeping processes answer pulls. It exercises the
+// request/response delivery pattern, mailbox wake-ups of sleeping
+// processes, and shared-payload interning, at ~4·N·Pulls events and
+// O(1) state per process.
+type PullServe struct {
+	// Pulls is the number of pull requests each process makes; 0 means 4.
+	Pulls int
+}
+
+// Name implements sim.Protocol.
+func (PullServe) Name() string { return "wl-pullserve" }
+
+// New implements sim.Protocol. Batch-allocated like Ring.New.
+func (ps PullServe) New(envs []sim.Env) []sim.Process {
+	pulls := ps.Pulls
+	if pulls < 1 {
+		pulls = 4
+	}
+	backing := make([]pullServeProc, len(envs))
+	procs := make([]sim.Process, len(envs))
+	for i, env := range envs {
+		backing[i] = pullServeProc{env: env, pulls: pulls}
+		procs[i] = &backing[i]
+	}
+	return procs
+}
+
+type pullServeProc struct {
+	env   sim.Env
+	pulls int
+}
+
+func (p *pullServeProc) Step(now sim.Step, delivered []sim.Message, out *sim.Outbox) {
+	for _, m := range delivered {
+		if m.Payload == pullPl {
+			out.Send(m.From, pushPl)
+		}
+	}
+	if p.pulls > 0 && p.env.N > 1 {
+		p.pulls--
+		out.Send(sim.ProcID(p.env.RNG.IntnExcept(p.env.N, int(p.env.ID))), pullPl)
+	}
+}
+
+func (p *pullServeProc) Asleep() bool            { return p.pulls == 0 }
+func (p *pullServeProc) Knows(g sim.ProcID) bool { return g == p.env.ID }
+
+// bigWorkload builds one of the three workloads from a small selector,
+// returning the protocol, a label for the case name, and a conservative
+// estimate of the run's active-step count (what the oracle's O(N)
+// per-step scans multiply against).
+func bigWorkload(sel, n int) (proto sim.Protocol, label string, activeSteps int64) {
+	switch sel % 3 {
+	case 0:
+		return Ring{Laps: 1}, "wl-ring", int64(n) + 2
+	case 1:
+		return Stagger{Rounds: 8}, "wl-stagger", 64
+	default:
+		return PullServe{Pulls: 4}, "wl-pullserve", 32
+	}
+}

@@ -44,6 +44,15 @@ func splitMix64(x *uint64) uint64 {
 // independent-looking streams; the same seed always yields the same stream.
 func New(seed uint64) *RNG {
 	r := new(RNG)
+	r.Seed(seed)
+	return r
+}
+
+// Seed reinitializes r in place to the exact stream New(seed) produces. It
+// is the allocation-free form of New, for callers that batch-allocate
+// generator arrays — a simulation with a million processes seeds a million
+// generators, and one []RNG backing beats a million boxed RNGs.
+func (r *RNG) Seed(seed uint64) {
 	x := seed
 	for i := range r.s {
 		r.s[i] = splitMix64(&x)
@@ -53,7 +62,6 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // Derive deterministically combines a base seed with a path of identifiers

@@ -5,29 +5,36 @@
 #   scripts/bench.sh [out.json] [benchtime] [baseline.json]
 #
 # Runs the scheduler-sensitive engine benchmarks (BenchmarkEngineLargeN,
-# BenchmarkEngineDelayHeavy in internal/sim, and the end-to-end benches at
-# the repo root) with allocation reporting, and writes the parsed results
-# as JSON rows to the output file (default BENCH_0.json). Each benchmark
-# runs BENCH_COUNT times (default 3) and the minimum ns/op is recorded —
-# the standard noise-robust reading. With a baseline file (a previous run
-# of this script), each row additionally carries baseline_ns_per_op and
-# delta_pct — the ns/op change versus the baseline row of the same name.
-# Deltas across machines (or across a busy machine's moods) are
-# indicative only; scripts/bench_gate.sh benchmarks both sides in one
-# invocation and is the authoritative regression check.
+# BenchmarkEngineDelayHeavy, and the big-N scale runs BenchmarkEngineBigN
+# in internal/sim, plus the end-to-end benches at the repo root) with
+# allocation reporting, and writes the parsed results as JSON rows to the
+# output file (default BENCH_2.json, the post-memory-rewrite baseline).
+# Each benchmark runs BENCH_COUNT times (default 3) and the minimum ns/op
+# is recorded — the standard noise-robust reading. The big-N runs are one
+# iteration each regardless of benchtime: a 10⁶-process run is its own
+# steady state. With a baseline file (default BENCH_1.json when present),
+# each row additionally carries baseline_ns_per_op / delta_pct and
+# baseline_allocs_per_op / allocs_delta_pct — the changes versus the
+# baseline row of the same name. Time deltas across machines (or across a
+# busy machine's moods) are indicative only; allocation counts are
+# deterministic and comparable anywhere. scripts/bench_gate.sh benchmarks
+# both sides in one invocation and is the authoritative regression check.
 set -eu
 
-out="${1:-BENCH_0.json}"
+out="${1:-BENCH_2.json}"
 benchtime="${2:-10x}"
-baseline="${3:-}"
+baseline="${3-BENCH_1.json}"
 count="${BENCH_COUNT:-3}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 cd "$(dirname "$0")/.."
+[ -f "$baseline" ] || baseline=""
 
 go test ./internal/sim/ -run '^$' -bench 'BenchmarkEngine(LargeN|DelayHeavy)' \
 	-benchtime "$benchtime" -count "$count" -timeout 1800s | tee "$tmp"
+go test ./internal/sim/ -run '^$' -bench 'BenchmarkEngineBigN' \
+	-benchtime 1x -count "$count" -timeout 1800s | tee -a "$tmp"
 go test . -run '^$' -bench 'Benchmark(EngineParallel|ProtocolRun|Strategy2KLDelayHeavy)' \
 	-benchtime "$benchtime" -count "$count" -timeout 1800s | tee -a "$tmp"
 
@@ -42,6 +49,8 @@ BEGIN {
 				name = substr(line, RSTART + 9, RLENGTH - 10)
 				if (match(line, /"ns_per_op": [0-9.]+/))
 					base[name] = substr(line, RSTART + 13, RLENGTH - 13)
+				if (match(line, /"allocs_per_op": [0-9.]+/))
+					baseAllocs[name] = substr(line, RSTART + 17, RLENGTH - 17)
 			}
 		}
 		close(basefile)
@@ -68,6 +77,9 @@ END {
 			name, rowIter[name], ns, rowBytes[name], rowAllocs[name]
 		if ((name in base) && ns != "null" && base[name] > 0)
 			printf ", \"baseline_ns_per_op\": %s, \"delta_pct\": %.2f", base[name], 100 * (ns - base[name]) / base[name]
+		if ((name in baseAllocs) && rowAllocs[name] != "null" && baseAllocs[name] > 0)
+			printf ", \"baseline_allocs_per_op\": %s, \"allocs_delta_pct\": %.2f", \
+				baseAllocs[name], 100 * (rowAllocs[name] - baseAllocs[name]) / baseAllocs[name]
 		printf ", \"date\": \"%s\"}", date
 	}
 	print "\n]"

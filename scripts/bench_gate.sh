@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# bench_gate.sh — fail if the always-on engine statistics (or anything
-# else) regressed the sparse-scheduling hot path by more than the budget.
+# bench_gate.sh — fail if anything regressed the sparse-scheduling hot
+# path — wall time beyond the noise budget, or allocations at all beyond
+# theirs.
 #
 # Usage:
 #   scripts/bench_gate.sh [max_regression_pct]
@@ -11,6 +12,9 @@
 #   BENCHTIME      go test -benchtime value (default 10x)
 #   BENCH_COUNT    repetitions; the gate takes the minimum ns/op of each
 #                  side, which is robust to scheduling noise (default 5)
+#   ALLOC_BUDGET   max allocs/op regression percentage (default 2;
+#                  allocation counts are deterministic, so this budget is
+#                  slack for environment drift, not for noise)
 #
 # The gate checks BenchmarkEngineLargeN/ring/N=10000 — one active process
 # among 10k sleepers, so per-event bookkeeping cost has nowhere to hide —
@@ -19,10 +23,13 @@
 # run in BENCH_COUNT *alternating* rounds and each side keeps its minimum
 # ns/op: alternation cancels slow machine drift (a busy window hits both
 # sides), the minimum cancels per-round scheduling noise. Absolute
-# numbers from different machines are never compared.
+# numbers from different machines are never compared. allocs/op is gated
+# alongside ns/op: the zero-alloc steady state of the memory rewrite means
+# any new per-event allocation shows up here as a percentage jump.
 set -eu
 
 budget="${1:-5}"
+alloc_budget="${ALLOC_BUDGET:-2}"
 ref="${BASELINE_REF:-6c991fe}"
 benchtime="${BENCHTIME:-10x}"
 count="${BENCH_COUNT:-5}"
@@ -35,31 +42,52 @@ trap 'git worktree remove --force "$worktree" 2>/dev/null || true; rm -rf "$work
 git worktree add --detach "$worktree" "$ref" >/dev/null
 
 one_round() {
-	# One ns/op sample of $bench in the package at $1.
+	# One "ns/op allocs/op" sample of $bench in the package at $1.
 	(cd "$1" && go test ./internal/sim/ -run '^$' -bench "$bench" \
 		-benchtime "$benchtime" -timeout 1800s) |
-		awk '/^Benchmark/ { for (i = 3; i < NF; i++) if ($(i+1) == "ns/op") { print $i; exit } }'
+		awk '/^Benchmark/ {
+			ns = allocs = "-"
+			for (i = 3; i < NF; i++) {
+				if ($(i+1) == "ns/op") ns = $i
+				if ($(i+1) == "allocs/op") allocs = $i
+			}
+			print ns, allocs; exit
+		}'
 }
 
 echo "bench_gate: $bench, HEAD vs $ref, -benchtime $benchtime, $count alternating rounds"
-head_ns="" base_ns=""
+head_ns="" base_ns="" head_allocs="" base_allocs=""
 i=0
 while [ "$i" -lt "$count" ]; do
-	h="$(one_round .)"
-	b="$(one_round "$worktree")"
-	echo "bench_gate: round $((i + 1)): head $h ns/op, base $b ns/op"
+	set -- $(one_round .)
+	h="$1" head_allocs="$2"
+	set -- $(one_round "$worktree")
+	b="$1" base_allocs="$2"
+	echo "bench_gate: round $((i + 1)): head $h ns/op $head_allocs allocs/op, base $b ns/op $base_allocs allocs/op"
 	[ -n "$head_ns" ] && [ "$(echo "$h $head_ns" | awk '{print ($1 < $2)}')" = 0 ] || head_ns="$h"
 	[ -n "$base_ns" ] && [ "$(echo "$b $base_ns" | awk '{print ($1 < $2)}')" = 0 ] || base_ns="$b"
 	i=$((i + 1))
 done
 
-awk -v head="$head_ns" -v base="$base_ns" -v budget="$budget" 'BEGIN {
+awk -v head="$head_ns" -v base="$base_ns" -v budget="$budget" \
+	-v headAllocs="$head_allocs" -v baseAllocs="$base_allocs" -v allocBudget="$alloc_budget" 'BEGIN {
+	fail = 0
 	delta = 100 * (head - base) / base
-	printf "bench_gate: baseline %.0f ns/op, head %.0f ns/op, delta %+.2f%% (budget +%s%%)\n",
+	printf "bench_gate: time   baseline %.0f ns/op, head %.0f ns/op, delta %+.2f%% (budget +%s%%)\n",
 		base, head, delta, budget
 	if (delta > budget) {
-		print "bench_gate: FAIL — hot path regressed beyond the budget"
-		exit 1
+		print "bench_gate: FAIL — hot path wall time regressed beyond the budget"
+		fail = 1
 	}
+	if (headAllocs != "-" && baseAllocs != "-" && baseAllocs > 0) {
+		adelta = 100 * (headAllocs - baseAllocs) / baseAllocs
+		printf "bench_gate: allocs baseline %d allocs/op, head %d allocs/op, delta %+.2f%% (budget +%s%%)\n",
+			baseAllocs, headAllocs, adelta, allocBudget
+		if (adelta > allocBudget) {
+			print "bench_gate: FAIL — hot path allocations regressed beyond the budget"
+			fail = 1
+		}
+	}
+	if (fail) exit 1
 	print "bench_gate: OK"
 }'
