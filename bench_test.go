@@ -106,8 +106,8 @@ func BenchmarkAblationOnline(b *testing.B) {
 // Ablation 3: deterministic parallel stepping vs serial execution of the
 // same run (identical outcomes; throughput differs with core count).
 func BenchmarkEngineParallel(b *testing.B) {
-	for _, workers := range []int{1, 2, 4} {
-		b.Run(map[int]string{1: "serial", 2: "workers-2", 4: "workers-4"}[workers], func(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "serial", 2: "workers-2", 4: "workers-4", 8: "workers-8"}[workers], func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, err := ugf.Run(ugf.Config{

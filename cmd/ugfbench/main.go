@@ -86,6 +86,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		summary     = fs.String("summary", "", "write a combined claims-status Markdown table to this file")
 		seed        = fs.Uint64("seed", 0, "base seed (0: default 2022)")
 		workers     = fs.Int("workers", 0, "parallel runs (0: GOMAXPROCS)")
+		shards      = fs.Int("shards", 0, "commit shards inside each run (0: serial commits; outcomes identical)")
 		list        = fs.Bool("list", false, "list experiments and exit")
 		progress    = fs.Bool("progress", true, "print run progress")
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -198,7 +199,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	var reports []*experiments.Report
 	for _, e := range selected {
 		cfg := experiments.Config{
-			Fidelity: fid, Workers: *workers, BaseSeed: *seed,
+			Fidelity: fid, Workers: *workers, Shards: *shards, BaseSeed: *seed,
 			Context: ctx, MaxWall: *maxwall,
 		}
 		prog := runner.NewProgress(nil, e.ID)
@@ -341,9 +342,24 @@ func renderStats(w io.Writer, rep *experiments.Report) {
 		s.LocalSteps, s.Sleeps, s.Wakes, s.Crashes)
 	fmt.Fprintf(w, "  adversary: %d delta / %d delay / %d omission rewrites\n",
 		s.DeltaRewrites, s.DelayRewrites, s.OmitRewrites)
-	fmt.Fprintf(w, "  wall time: init %v, run %v, finalize %v\n\n",
+	fmt.Fprintf(w, "  wall time: init %v, run %v, finalize %v\n",
 		s.Wall.Init.Round(time.Microsecond), s.Wall.Run.Round(time.Microsecond),
 		s.Wall.Finalize.Round(time.Microsecond))
+	if len(s.Wall.ShardCommit) > 0 {
+		fmt.Fprintf(w, "  shards:    %d commit lane(s) %s, merge %v, imbalance ×%.2f\n",
+			len(s.Wall.ShardCommit), shardWalls(s.Wall.ShardCommit),
+			s.Wall.ShardMerge.Round(time.Microsecond), s.Wall.ShardImbalance)
+	}
+	fmt.Fprintln(w)
+}
+
+// shardWalls renders the per-shard commit walls as "[1.2ms 1.3ms …]".
+func shardWalls(ws []time.Duration) string {
+	parts := make([]string, len(ws))
+	for i, d := range ws {
+		parts[i] = d.Round(time.Microsecond).String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 // kindBreakdown renders MessagesByKind as " (data×12, pull×7)", or "".

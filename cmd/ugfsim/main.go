@@ -42,6 +42,7 @@ func run(args []string, out io.Writer) error {
 		seed       = fs.Uint64("seed", 1, "random seed")
 		runs       = fs.Int("runs", 1, "repetitions (summary statistics when > 1)")
 		workers    = fs.Int("workers", 0, "parallel runs (0: GOMAXPROCS)")
+		shards     = fs.Int("shards", 0, "commit shards inside each run (0: serial commits; outcomes identical)")
 		trace      = fs.Bool("trace", false, "stream the event trace as text (runs=1 only)")
 		traceOut   = fs.String("traceout", "", "stream the event trace to this JSONL file (runs=1 only)")
 		traceKinds = fs.String("tracekinds", "", "comma-separated trace kinds to keep (default: all): send,arrive,step,crash,sleep,wake,adversary,end")
@@ -71,7 +72,10 @@ func run(args []string, out io.Writer) error {
 		budget = int(0.3 * float64(*n))
 	}
 
-	cfg := ugf.Config{N: *n, F: budget, Protocol: proto, Adversary: adv, Seed: *seed}
+	if *shards < 0 {
+		return fmt.Errorf("shards = %d, need ≥ 0", *shards)
+	}
+	cfg := ugf.Config{N: *n, F: budget, Protocol: proto, Adversary: adv, Seed: *seed, Workers: *shards}
 
 	emit := func(o ugf.Outcome) error {
 		if *asJSON {
@@ -226,4 +230,8 @@ func printStats(w io.Writer, s ugf.Stats) {
 		s.DeltaRewrites, s.DelayRewrites, s.OmitRewrites)
 	fmt.Fprintf(w, "  wall time: init %v, run %v, finalize %v\n",
 		s.Wall.Init, s.Wall.Run, s.Wall.Finalize)
+	if len(s.Wall.ShardCommit) > 0 {
+		fmt.Fprintf(w, "  shards:    %d commit lane(s) %v, merge %v, imbalance ×%.2f\n",
+			len(s.Wall.ShardCommit), s.Wall.ShardCommit, s.Wall.ShardMerge, s.Wall.ShardImbalance)
+	}
 }

@@ -123,7 +123,7 @@ func TestGoldenExtOutcomes(t *testing.T) {
 		t.Fatalf("matrix has %d cases but table has %d hashes — regenerate with UGF_GOLDEN_PRINT=1",
 			len(cases), len(goldenExtHashes))
 	}
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 4, 8} {
 		workers := workers
 		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
 			for i, c := range cases {

@@ -91,7 +91,7 @@ func TestGoldenOutcomes(t *testing.T) {
 	if len(cases) != len(goldenRows) {
 		t.Fatalf("matrix has %d cases but table has %d rows — regenerate with UGF_GOLDEN_PRINT=1", len(cases), len(goldenRows))
 	}
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 4, 8} {
 		workers := workers
 		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
 			for i, c := range cases {

@@ -65,6 +65,13 @@ type Config struct {
 	Fidelity Fidelity
 	// Workers bounds run-level parallelism (≤ 0: GOMAXPROCS).
 	Workers int
+	// Shards sets in-run commit parallelism — sim.Config.Workers — on
+	// every spec (≤ 0: serial commits). Outcomes are bit-identical either
+	// way; sharding trades run-level for in-run parallelism, which pays
+	// off when single runs are huge (big N) rather than numerous. When
+	// Workers is defaulted, the runner divides its run-level fan-out by
+	// the shard count so the product stays at GOMAXPROCS.
+	Shards int
 	// BaseSeed makes the whole experiment deterministic; 0 means 2022
 	// (the paper's year — an arbitrary but memorable default).
 	BaseSeed uint64
@@ -221,6 +228,11 @@ func ByID(id string) (Experiment, bool) {
 // slots carry HorizonHit placeholders, which every cutoff-aware summary
 // already skips).
 func execute(rep *Report, cfg Config, specs []runner.Spec) ([]runner.Result, error) {
+	if cfg.Shards > 0 {
+		for i := range specs {
+			specs[i].Base.Workers = cfg.Shards
+		}
+	}
 	results, err := runner.ExecuteContext(cfg.context(), specs, runner.Options{
 		Workers:  cfg.Workers,
 		Progress: cfg.Progress,

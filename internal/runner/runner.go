@@ -199,6 +199,22 @@ func ExecuteContext(ctx context.Context, specs []Spec, opts Options) ([]Result, 
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+		// Run-level parallelism multiplies with in-run commit sharding
+		// (Spec.Base.Workers > 1): a batch of sharded runs at full
+		// GOMAXPROCS run-level fan-out would oversubscribe the machine
+		// shards-fold. Divide the default by the widest shard count so the
+		// product stays at GOMAXPROCS; an explicit opts.Workers overrides.
+		maxShards := 1
+		for i := range specs {
+			if w := specs[i].Base.Workers; w > maxShards {
+				maxShards = w
+			}
+		}
+		if maxShards > 1 {
+			if workers /= maxShards; workers < 1 {
+				workers = 1
+			}
+		}
 	}
 	type job struct {
 		spec, run int

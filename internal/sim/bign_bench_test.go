@@ -23,10 +23,10 @@ import (
 	"github.com/ugf-sim/ugf/internal/simtest"
 )
 
-func benchBigN(b *testing.B, n int, proto sim.Protocol) {
+func benchBigN(b *testing.B, n, workers int, proto sim.Protocol) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		o, err := sim.Run(sim.Config{N: n, Protocol: proto, Seed: uint64(i + 1)})
+		o, err := sim.Run(sim.Config{N: n, Protocol: proto, Seed: uint64(i + 1), Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -38,12 +38,19 @@ func benchBigN(b *testing.B, n int, proto sim.Protocol) {
 }
 
 // BenchmarkEngineBigN is the scale capability delivered by PR 5:
-// ring/100k and pushpull/1M single-run costs.
+// ring/100k and pushpull/1M single-run costs. The shards=4 variant runs
+// the same million-process workload through the sharded commit phase —
+// identical outcome, dense due sets split across four lanes — so the
+// BENCH_* baselines record what sharding costs (single-core) or buys
+// (multi-core) at the dense extreme.
 func BenchmarkEngineBigN(b *testing.B) {
 	b.Run(fmt.Sprintf("ring/N=%d", 100_000), func(b *testing.B) {
-		benchBigN(b, 100_000, simtest.Ring{Laps: 1})
+		benchBigN(b, 100_000, 0, simtest.Ring{Laps: 1})
 	})
 	b.Run(fmt.Sprintf("pushpull/N=%d", 1_000_000), func(b *testing.B) {
-		benchBigN(b, 1_000_000, simtest.PullServe{Pulls: 4})
+		benchBigN(b, 1_000_000, 0, simtest.PullServe{Pulls: 4})
+	})
+	b.Run(fmt.Sprintf("pushpull/N=%d/shards=4", 1_000_000), func(b *testing.B) {
+		benchBigN(b, 1_000_000, 4, simtest.PullServe{Pulls: 4})
 	})
 }

@@ -140,8 +140,25 @@ func Run(cfg Config) (Outcome, error) {
 	// Wall times are measured per run phase, not per step, so the cost is
 	// four clock reads per run — and they are the only Stats fields that
 	// are not a pure function of (Config, Seed).
-	o.Stats.Wall = WallStats{Init: t1.Sub(t0), Run: t2.Sub(t1), Finalize: time.Since(t2)}
+	w := WallStats{Init: t1.Sub(t0), Run: t2.Sub(t1), Finalize: time.Since(t2)}
+	w.ShardCommit, w.ShardMerge, w.ShardImbalance = e.shardWall()
+	o.Stats.Wall = w
+	e.dispose()
 	return o, nil
+}
+
+// dispose drops the engine's bulk storage before Run returns. The engine
+// is garbage the moment Run's frame ends anyway, but a GC mark phase that
+// spans two back-to-back runs (the benchmark and sweep steady state)
+// would otherwise trace both generations of multi-megabyte engine state,
+// inflating the pacer's heap goal; nil-ing the fat references bounds what
+// such a cycle can see to the outcome being returned.
+func (e *engine) dispose() {
+	e.pt = procTable{}
+	e.cal = calendar{}
+	e.sched = scheduler{}
+	e.ptab = payloadTable{}
+	e.procs, e.outboxes, e.sendLog, e.lanes = nil, nil, nil, nil
 }
 
 type engine struct {
@@ -162,7 +179,9 @@ type engine struct {
 	sendLog  []SendRecord
 	outboxes []Outbox
 	dueBuf   []ProcID
-	resolve  []int32 // commitOne scratch: staging index → payload-table ref
+	resolve  []int32 // commitOne scratch: staging index → payload-table slot
+	kindRes  []int32 // commitOne scratch: staging index → kind-table index
+	cntBuf   []int32 // commitOne scratch: staging index → surviving copies
 
 	awakeCorrect      int
 	totalPending      int64
@@ -187,6 +206,13 @@ type engine struct {
 	wg      sync.WaitGroup
 	panics  []any
 	panicMu sync.Mutex
+
+	// lanes are the shard lanes of the sharded commit phase (shard.go);
+	// allocated on first use and persistent for the run — calendar refs
+	// point into lane payload tables, so lanes never shrink. mergeWall
+	// accumulates the serial merge's wall time for WallStats.
+	lanes     []shardLane
+	mergeWall time.Duration
 }
 
 // maxProcs bounds N so that process indexes fit the 4-byte fields of
@@ -228,6 +254,8 @@ func newEngine(cfg Config) (*engine, error) {
 	e.pt.init(n)
 	e.cal.init()
 	e.sched.init(n)
+	e.ptab.init(n)
+	e.sched.scheduleAll(1) // first boundary of every process: anchor 0 + δ 1
 	envs := make([]Env, n)
 	// One backing array for all process generators: each env points into
 	// it, seeded to exactly the ProcRNG(seed, p) stream. Batching the
@@ -238,7 +266,7 @@ func newEngine(cfg Config) (*engine, error) {
 		e.pt.setAwake(ProcID(p), true)
 		e.pt.delta[p] = 1
 		e.pt.delay[p] = 1
-		e.sched.scheduleProc(ProcID(p), 1) // first boundary: anchor 0 + δ 1
+		e.outboxes[p].reset(ProcID(p), n)
 		rngs[p].Seed(xrand.Derive(cfg.Seed, seedDomainProc, uint64(p)))
 		envs[p] = Env{
 			ID:  ProcID(p),
@@ -432,18 +460,37 @@ func (e *engine) boundaryOnOrAfter(p ProcID, t Step) Step {
 	return e.nextBoundary(p)
 }
 
+// payloadVal resolves a packed calendar ref (table index << 32 | slot) to
+// its boxed payload: table 0 is the serial-commit table, table s+1 the
+// payload table of shard lane s.
+func (e *engine) payloadVal(ref int64) Payload {
+	if ti := ref >> 32; ti != 0 {
+		return e.lanes[ti-1].ptab.val(int32(ref))
+	}
+	return e.ptab.val(int32(ref))
+}
+
+// releaseRef drops one calendar copy of a packed ref.
+func (e *engine) releaseRef(ref int64) {
+	if ti := ref >> 32; ti != 0 {
+		e.lanes[ti-1].ptab.release(int32(ref))
+		return
+	}
+	e.ptab.release(int32(ref))
+}
+
 func (e *engine) deliver(t Step) {
 	bucket := e.cal.take(t)
 	if bucket == nil {
 		return
 	}
-	for _, m := range bucket {
+	for _, m := range bucket.msgs {
 		e.inflight--
 		to := ProcID(m.to)
 		if e.pt.crashed(to) {
 			// inflightTo[to] was zeroed when to crashed; just drop.
 			e.st.DroppedCrashed++
-			e.ptab.release(m.ref)
+			e.releaseRef(m.ref)
 			continue
 		}
 		e.st.Deliveries++
@@ -452,11 +499,11 @@ func (e *engine) deliver(t Step) {
 		}
 		// Materialize the boxed Message here, at the protocol boundary —
 		// the only point the payload ref becomes an interface value again.
-		pl := e.ptab.val(m.ref)
-		e.pt.mail[to] = append(e.pt.mail[to], Message{
+		pl := e.payloadVal(m.ref)
+		e.pt.pushMail(to, Message{
 			From: ProcID(m.from), To: to, SentAt: m.sentAt, DeliverAt: t, Payload: pl,
 		})
-		e.ptab.release(m.ref)
+		e.releaseRef(m.ref)
 		e.pt.pendingCount[to]++
 		e.totalPending++
 		e.pt.inflightTo[to]--
@@ -483,6 +530,14 @@ func (e *engine) localSteps(t Step) {
 	}
 
 	if e.workers > 1 && len(due) >= 2*e.workers {
+		if e.cfg.Trace == nil {
+			// Sharded step+commit (shard.go): the commit effects run on the
+			// workers too, then merge serially. Tracing needs the exact
+			// serial event interleaving, so traced runs keep the serial
+			// commit below — outcomes are bit-identical either way.
+			e.stepCommitSharded(t, due)
+			return
+		}
 		e.stepParallel(t, due)
 	} else {
 		for _, p := range due {
@@ -498,16 +553,17 @@ func (e *engine) localSteps(t Step) {
 
 // stepOne runs the protocol handler of p for its local step at t. It only
 // touches p-local engine state, so distinct processes may step in parallel.
+// p's outbox is already empty here: newEngine resets it once, and every
+// commit path (commitOne, prepareOne) clears it after draining.
 func (e *engine) stepOne(t Step, p ProcID) {
-	ob := &e.outboxes[p]
-	ob.reset(p, e.n)
-	e.procs[p].Step(t, e.pt.mail[p], ob)
+	e.procs[p].Step(t, e.pt.mail[p], &e.outboxes[p])
 }
 
 // commitOne publishes the effects of p's local step: mailbox consumption,
 // sleep/wake transitions, and sends. Must run serially in process order —
-// it is also the only phase that touches the shared payload table, which
-// is what keeps the table lock-free under parallel stepping.
+// it is also the only phase that touches the serial payload table and the
+// calendar, which is what keeps both lock-free under parallel stepping.
+// (The sharded path replaces it with prepareOne + mergeLanes, shard.go.)
 func (e *engine) commitOne(t Step, p ProcID) {
 	if e.cfg.Trace != nil {
 		e.trace(TraceEvent{Kind: TraceLocalStep, Step: t, Proc: p, Other: -1})
@@ -520,32 +576,40 @@ func (e *engine) commitOne(t Step, p ProcID) {
 	e.st.LocalSteps++
 
 	ob := &e.outboxes[p]
-	// Resolve the staged payloads of this local step into run-table slots,
-	// one intern per distinct value. Staging order is first-send order, so
-	// kinds register in the same order countKind used to see them.
-	res := e.resolve[:0]
+	// Resolve the staged payloads of this local step into run-table slots.
+	// The table's identity memo collapses re-sends of the most recently
+	// interned value to its existing slot, and carries the kind index with
+	// it, so Kind() resolves only on memo misses. Staging order is
+	// first-send order, so kinds register in the order sends first use them.
+	res, kres, cnt := e.resolve[:0], e.kindRes[:0], e.cntBuf[:0]
 	for _, pl := range ob.staged {
-		kind := "?"
-		if pl != nil {
-			kind = pl.Kind()
+		slot, fresh := e.ptab.intern(pl)
+		if fresh {
+			kind := "?"
+			if pl != nil {
+				kind = pl.Kind()
+			}
+			e.ptab.memoKind = e.kindIndex(kind)
 		}
-		res = append(res, e.ptab.intern(pl, e.kindIndex(kind)))
+		res = append(res, slot)
+		kres = append(kres, e.ptab.memoKind)
+		cnt = append(cnt, 0)
 	}
-	e.resolve = res
+	e.resolve, e.kindRes, e.cntBuf = res, kres, cnt
 	omitted := e.pt.omitted(p)
+	delay := e.pt.delay[p]
+	deliverAt := t + delay
 	for _, d := range ob.drafts {
 		to := ProcID(d.to)
-		ref := res[d.pi]
 		e.msgTotal++
 		e.pt.sent[p]++
 		e.pt.lastSend[p] = t
 		e.eventCount++
-		e.kinds[e.ptab.kindOf(ref)].Count++
+		e.kinds[kres[d.pi]].Count++
 		if e.statsEvery > 0 {
 			e.interval.Sends++
-			e.interval.DelayHist[delayBucket(e.pt.delay[p])]++
+			e.interval.DelayHist[delayBucket(delay)]++
 		}
-		deliverAt := t + e.pt.delay[p]
 		if e.adv != nil {
 			// Only an adversary reads the send log; without one, appending
 			// would grow an O(M) slice nobody drains.
@@ -563,10 +627,10 @@ func (e *engine) commitOne(t Step, p ProcID) {
 			}
 			continue
 		}
-		if e.cal.add(deliverAt, imessage{from: int32(p), to: d.to, ref: ref, sentAt: t}) {
+		if e.cal.add(deliverAt, imessage{from: int32(p), to: d.to, ref: int64(res[d.pi]), sentAt: t}) {
 			e.sched.scheduleDelivery(deliverAt)
 		}
-		e.ptab.incref(ref)
+		cnt[d.pi]++
 		e.inflight++
 		if e.inflight > e.st.MaxInFlight {
 			e.st.MaxInFlight = e.inflight
@@ -574,13 +638,26 @@ func (e *engine) commitOne(t Step, p ProcID) {
 		e.pt.inflightTo[to]++
 		e.inflightToCorrect++
 	}
-	// Reclaim slots whose every send was dropped before reaching the
-	// calendar, then release the staged interface values.
-	for _, ref := range res {
-		e.ptab.sweep(ref)
+	// One batched refcount update per staged payload — not one per copy —
+	// and an immediate sweep of slots whose every send was dropped before
+	// reaching the calendar.
+	for i, slot := range res {
+		if cnt[i] > 0 {
+			e.ptab.addRefs(slot, cnt[i])
+		} else {
+			e.ptab.sweep(slot)
+		}
 	}
 	ob.clear()
 
+	e.finishOne(t, p)
+}
+
+// finishOne is the tail every commit shares — serial commitOne and the
+// sharded merge both end each process's local step here: the protocol's
+// Commit hook, the sleep/wake transition, and rescheduling. Runs serially,
+// in ascending process order.
+func (e *engine) finishOne(t Step, p ProcID) {
 	if c, ok := e.procs[p].(Committer); ok {
 		c.Commit(t)
 	}

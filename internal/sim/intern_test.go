@@ -9,8 +9,8 @@ import "testing"
 // calendar. Now the Outbox stages the value once and the engine interns it
 // into a single run-table slot, however many drafts reference it.
 
-// countingPayload counts Kind resolutions: one per *interned* payload, not
-// one per send, is the contract.
+// countingPayload counts Kind resolutions: one per intern-memo *miss*, not
+// one per send or even per sender, is the contract.
 type countingPayload struct {
 	kindCalls *int
 }
@@ -96,16 +96,17 @@ func TestEngineInternsFanoutOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Step 1: every process broadcasts. n·(n−1) messages enter the
-	// calendar, but only one payload slot per sender may exist.
+	// Step 1: every process broadcasts the same pre-boxed value. n·(n−1)
+	// messages enter the calendar, but the intern memo collapses every
+	// sender's staged payload onto one table slot.
 	if !e.stepOnce() {
 		t.Fatal("fan-out step did not run")
 	}
-	if got := e.ptab.live(); got != n {
-		t.Errorf("after fan-out commit: %d live payload slots, want %d (one per sender)", got, n)
+	if got := e.ptab.live(); got != 1 {
+		t.Errorf("after fan-out commit: %d live payload slots, want 1 (identical payload, one slot for all senders)", got)
 	}
-	if kindCalls != n {
-		t.Errorf("Kind resolved %d times, want %d (once per interned payload, not per send)", kindCalls, n)
+	if kindCalls != 1 {
+		t.Errorf("Kind resolved %d times, want 1 (once per intern-memo miss, not per sender)", kindCalls)
 	}
 	// Drain the run; every slot must be recycled once its copies land.
 	for !e.quiescent() {
@@ -120,7 +121,7 @@ func TestEngineInternsFanoutOnce(t *testing.T) {
 	if want := int64(n * (n - 1)); o.Messages != want {
 		t.Errorf("Messages = %d, want %d", o.Messages, want)
 	}
-	if kindCalls != n {
-		t.Errorf("Kind resolved %d times by run end, want %d", kindCalls, n)
+	if kindCalls != 1 {
+		t.Errorf("Kind resolved %d times by run end, want 1", kindCalls)
 	}
 }

@@ -29,7 +29,29 @@ type procTable struct {
 	// across local steps (zeroed, then truncated) so steady-state delivery
 	// appends into pre-grown storage.
 	mail [][]Message
+
+	// mailBlock is the arena behind small mailboxes: instead of taking
+	// its own heap allocation, a mailbox carves storage out of the
+	// current block — an exact one-entry slice on first touch, upgraded
+	// to a mailChunk-entry chunk the first time it grows. The two-stage
+	// carve adapts to the workload with no size threshold: sparse
+	// workloads whose processes hold one message at a time (the 10k ring)
+	// get exact-fit storage with zero headroom, dense ones (delay-heavy,
+	// stagger) absorb their first growth steps without the per-mailbox
+	// grow-and-copy ladder that used to dominate big-N allocation counts.
+	// A mailbox that outgrows its chunk spills to a regular heap-grown
+	// slice once and keeps it. Blocks stay live for the run; like the
+	// Outbox's inline arrays, an abandoned or spilled chunk may pin a few
+	// stale run-scoped payload boxes — deliberately not scrubbed.
+	mailBlock []Message
 }
+
+// mailChunk is the capacity of an upgraded arena chunk; mailBlockLen is
+// how many entries each arena block holds.
+const (
+	mailChunk    = 4
+	mailBlockLen = 4096
+)
 
 const (
 	flagAwake uint8 = 1 << iota
@@ -71,6 +93,36 @@ func (pt *procTable) setOmitted(p ProcID, v bool) {
 	} else {
 		pt.flags[p] &^= flagOmitted
 	}
+}
+
+// pushMail appends a delivered message to p's mailbox, carving small
+// mailbox storage out of the arena (see mailBlock): one entry on first
+// touch, a mailChunk-entry chunk on the first growth, the heap after
+// that.
+func (pt *procTable) pushMail(p ProcID, m Message) {
+	buf := pt.mail[p]
+	if n := len(buf); n == cap(buf) && n < mailChunk {
+		if n == 0 {
+			buf = pt.carveMail(1)
+		} else {
+			nb := pt.carveMail(mailChunk)[:n]
+			copy(nb, buf)
+			buf = nb
+		}
+	}
+	pt.mail[p] = append(buf, m)
+}
+
+// carveMail cuts a fresh k-capacity, zero-length slice out of the
+// current arena block, starting a new block when the current one is
+// exhausted.
+func (pt *procTable) carveMail(k int) []Message {
+	if len(pt.mailBlock)+k > cap(pt.mailBlock) {
+		pt.mailBlock = make([]Message, 0, mailBlockLen)
+	}
+	base := len(pt.mailBlock)
+	pt.mailBlock = pt.mailBlock[:base+k]
+	return pt.mailBlock[base : base : base+k]
 }
 
 // clearMail empties p's mailbox buffer, zeroing consumed entries so the

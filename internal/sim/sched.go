@@ -1,6 +1,9 @@
 package sim
 
-import "slices"
+import (
+	"math/bits"
+	"slices"
+)
 
 // Indexed event scheduler.
 //
@@ -90,6 +93,10 @@ type scheduler struct {
 	// scheduling work, independent of protocol cost.
 	pushes int64
 	pops   int64
+
+	// dueBits is sortDue's scratch bitmap, grown once to the widest
+	// due-set span and reused for the rest of the run.
+	dueBits []uint64
 }
 
 func (s *scheduler) init(n int) {
@@ -101,6 +108,28 @@ func (s *scheduler) init(n int) {
 	s.buckets = make(map[Step]*boundaryBucket)
 	s.cache = nil
 	s.cacheAt = noSchedule
+}
+
+// scheduleAll schedules every process's first boundary at step at, in one
+// pass: one heap push, one bucket sized exactly N. It is newEngine's bulk
+// replacement for N scheduleProc calls and leaves the scheduler in the
+// identical state (same keys, same live count, same push count) without
+// the per-process cache probes or the bucket's append-growth ladder —
+// measurable at N = 10⁶, where the old loop's doublings alone moved
+// megabytes.
+func (s *scheduler) scheduleAll(at Step) {
+	n := len(s.key)
+	b := s.newBucket(at)
+	s.push(schedEvent{at: at, mark: boundaryMark})
+	if cap(b.procs) < n {
+		b.procs = make([]int32, 0, n)
+	}
+	b.procs = b.procs[:n]
+	for p := 0; p < n; p++ {
+		s.key[p] = at
+		b.procs[p] = int32(p)
+	}
+	b.live = n
 }
 
 // scheduleProc (re)schedules p's next local-step boundary at step at,
@@ -186,9 +215,56 @@ func (s *scheduler) collectDue(t Step, due []ProcID) []ProcID {
 	// Commits append in ascending order, so the no-wake-up common case is
 	// already sorted and skips the sort entirely.
 	if !slices.IsSorted(due) {
-		slices.Sort(due)
+		s.sortDue(due)
 	}
 	return due
+}
+
+// sortDue sorts a due set ascending. Process IDs are unique (collectDue
+// clears each key as it collects), so a dense set sorts in linear time by
+// scattering into a bitmap over the [min, max] span and sweeping the set
+// bits back out — on wake-up-heavy workloads the comparison sort here was
+// a measurable slice of the whole run. Sparse sets (span much wider than
+// the set) fall back to the comparison sort.
+func (s *scheduler) sortDue(due []ProcID) {
+	if len(due) < 32 {
+		slices.Sort(due)
+		return
+	}
+	minP, maxP := due[0], due[0]
+	for _, p := range due[1:] {
+		if p < minP {
+			minP = p
+		}
+		if p > maxP {
+			maxP = p
+		}
+	}
+	span := int(maxP-minP) + 1
+	if span > 512*len(due) {
+		slices.Sort(due)
+		return
+	}
+	words := (span + 63) / 64
+	if cap(s.dueBits) < words {
+		s.dueBits = make([]uint64, words)
+	}
+	bm := s.dueBits[:words]
+	for i := range bm {
+		bm[i] = 0
+	}
+	for _, p := range due {
+		off := uint(p - minP)
+		bm[off>>6] |= 1 << (off & 63)
+	}
+	out := due[:0]
+	for w, word := range bm {
+		base := ProcID(w<<6) + minP
+		for word != 0 {
+			out = append(out, base+ProcID(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
 }
 
 // bucketAt returns the boundary bucket at step at, or nil.

@@ -113,8 +113,8 @@ func TestCalendarRecyclesBuckets(t *testing.T) {
 		t.Fatal("second add to same step must not re-create the bucket")
 	}
 	b := c.take(10)
-	if len(b) != 2 || b[0].to != 1 || b[1].to != 2 {
-		t.Fatalf("bucket = %v", b)
+	if len(b.msgs) != 2 || b.msgs[0].to != 1 || b.msgs[1].to != 2 {
+		t.Fatalf("bucket = %v", b.msgs)
 	}
 	if c.take(10) != nil {
 		t.Fatal("taken bucket still present")
@@ -126,11 +126,11 @@ func TestCalendarRecyclesBuckets(t *testing.T) {
 		t.Fatal("add after release must create a bucket")
 	}
 	b2 := c.take(20)
-	if &b[:1][0] != &b2[:1][0] {
-		t.Error("released bucket storage was not recycled")
+	if b2 != b {
+		t.Error("released bucket was not recycled")
 	}
-	if b2[0].to != 3 {
-		t.Fatalf("recycled bucket content = %v", b2)
+	if b2.msgs[0].to != 3 {
+		t.Fatalf("recycled bucket content = %v", b2.msgs)
 	}
 	c.release(b2)
 }

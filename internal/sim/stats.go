@@ -101,6 +101,21 @@ type WallStats struct {
 	// Finalize covers outcome extraction, dominated by the O(N²)
 	// rumor-gathering check.
 	Finalize time.Duration
+
+	// ShardCommit is the accumulated wall time each shard lane spent in
+	// the parallel step+commit phase, indexed by lane; empty unless the
+	// run took the sharded path (Workers > 1). The new fields are
+	// omitempty so serial outcomes — and StripWall projections — keep
+	// their existing JSON encoding bit for bit (the golden matrices hash
+	// it).
+	ShardCommit []time.Duration `json:",omitempty"`
+	// ShardMerge is the accumulated wall time of the serial merge that
+	// follows the parallel phase.
+	ShardMerge time.Duration `json:",omitempty"`
+	// ShardImbalance is max/mean over ShardCommit — 1.0 is a perfectly
+	// balanced partition; large values say the contiguous process-range
+	// split is mismatched to where the work is.
+	ShardImbalance float64 `json:",omitempty"`
 }
 
 // delayHistBuckets is the size of the per-interval delivery-delay
@@ -197,6 +212,17 @@ func (s *Stats) Merge(other *Stats) {
 	s.Wall.Init += other.Wall.Init
 	s.Wall.Run += other.Wall.Run
 	s.Wall.Finalize += other.Wall.Finalize
+	s.Wall.ShardMerge += other.Wall.ShardMerge
+	for i, d := range other.Wall.ShardCommit {
+		if i < len(s.Wall.ShardCommit) {
+			s.Wall.ShardCommit[i] += d
+		} else {
+			s.Wall.ShardCommit = append(s.Wall.ShardCommit, d)
+		}
+	}
+	if other.Wall.ShardImbalance > s.Wall.ShardImbalance {
+		s.Wall.ShardImbalance = other.Wall.ShardImbalance
+	}
 }
 
 func sortKinds(kinds []KindCount) {

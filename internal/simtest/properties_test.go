@@ -91,6 +91,39 @@ func TestPropertyParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestPropertyShardsMatchSerial is the sharded-commit twin of the workers
+// property: the shard count partitions each due set into different
+// contiguous process ranges, each with its own payload table, calendar
+// lanes, and counter deltas, and the merge must erase every trace of the
+// partition. Serial, 2-shard, and 8-shard runs of the same configuration
+// must produce byte-identical Outcomes — Stats included, down to the
+// scheduler's heap counters. scripts/verify.sh and CI additionally run
+// this property under -race on a reduced config band, which is what
+// actually exercises the lanes' no-shared-mutable-state claim.
+func TestPropertyShardsMatchSerial(t *testing.T) {
+	for i := 0; i < configCount(t); i++ {
+		c := Gen(genSeedBase + uint64(i))
+		serial, err := sim.Run(c.Cfg)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", c.Name, err)
+		}
+		for _, shards := range []int{2, 8} {
+			scfg := c.Cfg
+			scfg.Workers = shards
+			sharded, err := sim.Run(scfg)
+			if err != nil {
+				t.Fatalf("%s: shards=%d: %v", c.Name, shards, err)
+			}
+			if !reflect.DeepEqual(serial.StripWall(), sharded.StripWall()) {
+				t.Errorf("%s: serial and shards=%d outcomes differ:", c.Name, shards)
+				for _, d := range DiffOutcomes(serial, sharded) {
+					t.Errorf("  %s", d)
+				}
+			}
+		}
+	}
+}
+
 // TestPropertySameSeedDeterminism: a run is a pure function of its
 // Config — rerunning the identical configuration reproduces the Outcome
 // exactly (up to wall times).

@@ -8,11 +8,11 @@
 # BenchmarkEngineDelayHeavy, and the big-N scale runs BenchmarkEngineBigN
 # in internal/sim, plus the end-to-end benches at the repo root) with
 # allocation reporting, and writes the parsed results as JSON rows to the
-# output file (default BENCH_2.json, the post-memory-rewrite baseline).
+# output file (default BENCH_3.json, the post-sharded-commit baseline).
 # Each benchmark runs BENCH_COUNT times (default 3) and the minimum ns/op
 # is recorded — the standard noise-robust reading. The big-N runs are one
 # iteration each regardless of benchtime: a 10⁶-process run is its own
-# steady state. With a baseline file (default BENCH_1.json when present),
+# steady state. With a baseline file (default BENCH_2.json when present),
 # each row additionally carries baseline_ns_per_op / delta_pct and
 # baseline_allocs_per_op / allocs_delta_pct — the changes versus the
 # baseline row of the same name. Time deltas across machines (or across a
@@ -21,9 +21,9 @@
 # both sides in one invocation and is the authoritative regression check.
 set -eu
 
-out="${1:-BENCH_2.json}"
+out="${1:-BENCH_3.json}"
 benchtime="${2:-10x}"
-baseline="${3-BENCH_1.json}"
+baseline="${3-BENCH_2.json}"
 count="${BENCH_COUNT:-3}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT

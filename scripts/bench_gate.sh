@@ -1,7 +1,6 @@
 #!/usr/bin/env sh
-# bench_gate.sh — fail if anything regressed the sparse-scheduling hot
-# path — wall time beyond the noise budget, or allocations at all beyond
-# theirs.
+# bench_gate.sh — fail if anything regressed an engine hot path — wall
+# time beyond the noise budget, or allocations at all beyond theirs.
 #
 # Usage:
 #   scripts/bench_gate.sh [max_regression_pct]
@@ -15,17 +14,30 @@
 #   ALLOC_BUDGET   max allocs/op regression percentage (default 2;
 #                  allocation counts are deterministic, so this budget is
 #                  slack for environment drift, not for noise)
+#   BENCHES        space-separated benchmark names to gate (default: the
+#                  three hot paths below)
 #
-# The gate checks BenchmarkEngineLargeN/ring/N=10000 — one active process
-# among 10k sleepers, so per-event bookkeeping cost has nowhere to hide —
-# by benchmarking HEAD and BASELINE_REF on the same machine in the same
-# invocation (a git worktree holds the baseline checkout). The two sides
-# run in BENCH_COUNT *alternating* rounds and each side keeps its minimum
-# ns/op: alternation cancels slow machine drift (a busy window hits both
-# sides), the minimum cancels per-round scheduling noise. Absolute
-# numbers from different machines are never compared. allocs/op is gated
-# alongside ns/op: the zero-alloc steady state of the memory rewrite means
-# any new per-event allocation shows up here as a percentage jump.
+# The gated benchmarks cover the three regimes where per-event
+# bookkeeping cost has nowhere to hide:
+#
+#   BenchmarkEngineLargeN/ring/N=10000     one active process among 10k
+#                                          sleepers — sparse scheduling
+#   BenchmarkEngineLargeN/stagger/N=10000  every process on its own step
+#                                          grid — bucket churn and
+#                                          intern-table turnover
+#   BenchmarkEngineDelayHeavy/N=5000       Strategy 2.k.l delay rewrites
+#                                          — calendar spread and the
+#                                          delay-heavy commit path
+#
+# Each is benchmarked on HEAD and BASELINE_REF on the same machine in the
+# same invocation (a git worktree holds the baseline checkout). The two
+# sides run in BENCH_COUNT *alternating* rounds and each side keeps its
+# minimum ns/op: alternation cancels slow machine drift (a busy window
+# hits both sides), the minimum cancels per-round scheduling noise.
+# Absolute numbers from different machines are never compared. allocs/op
+# is gated alongside ns/op: the zero-alloc steady state of the memory
+# rewrite means any new per-event allocation shows up here as a
+# percentage jump.
 set -eu
 
 budget="${1:-5}"
@@ -33,17 +45,18 @@ alloc_budget="${ALLOC_BUDGET:-2}"
 ref="${BASELINE_REF:-6c991fe}"
 benchtime="${BENCHTIME:-10x}"
 count="${BENCH_COUNT:-5}"
-bench='BenchmarkEngineLargeN/ring/N=10000'
+benches="${BENCHES:-BenchmarkEngineLargeN/ring/N=10000 BenchmarkEngineLargeN/stagger/N=10000 BenchmarkEngineDelayHeavy/N=5000}"
 
 cd "$(dirname "$0")/.."
 worktree="$(mktemp -d)"
-trap 'git worktree remove --force "$worktree" 2>/dev/null || true; rm -rf "$worktree"' EXIT
+samples="$(mktemp)"
+trap 'git worktree remove --force "$worktree" 2>/dev/null || true; rm -rf "$worktree" "$samples"' EXIT
 
 git worktree add --detach "$worktree" "$ref" >/dev/null
 
 one_round() {
-	# One "ns/op allocs/op" sample of $bench in the package at $1.
-	(cd "$1" && go test ./internal/sim/ -run '^$' -bench "$bench" \
+	# One "ns/op allocs/op" sample of bench $2 in the package at $1.
+	(cd "$1" && go test ./internal/sim/ -run '^$' -bench "$2\$" \
 		-benchtime "$benchtime" -timeout 1800s) |
 		awk '/^Benchmark/ {
 			ns = allocs = "-"
@@ -55,39 +68,51 @@ one_round() {
 		}'
 }
 
-echo "bench_gate: $bench, HEAD vs $ref, -benchtime $benchtime, $count alternating rounds"
-head_ns="" base_ns="" head_allocs="" base_allocs=""
+echo "bench_gate: HEAD vs $ref, -benchtime $benchtime, $count alternating rounds"
 i=0
 while [ "$i" -lt "$count" ]; do
-	set -- $(one_round .)
-	h="$1" head_allocs="$2"
-	set -- $(one_round "$worktree")
-	b="$1" base_allocs="$2"
-	echo "bench_gate: round $((i + 1)): head $h ns/op $head_allocs allocs/op, base $b ns/op $base_allocs allocs/op"
-	[ -n "$head_ns" ] && [ "$(echo "$h $head_ns" | awk '{print ($1 < $2)}')" = 0 ] || head_ns="$h"
-	[ -n "$base_ns" ] && [ "$(echo "$b $base_ns" | awk '{print ($1 < $2)}')" = 0 ] || base_ns="$b"
+	for bench in $benches; do
+		set -- $(one_round . "$bench")
+		echo "$bench head $1 $2" >>"$samples"
+		h="$1 ns/op $2 allocs/op"
+		set -- $(one_round "$worktree" "$bench")
+		echo "$bench base $1 $2" >>"$samples"
+		echo "bench_gate: round $((i + 1)) $bench: head $h, base $1 ns/op $2 allocs/op"
+	done
 	i=$((i + 1))
 done
 
-awk -v head="$head_ns" -v base="$base_ns" -v budget="$budget" \
-	-v headAllocs="$head_allocs" -v baseAllocs="$base_allocs" -v allocBudget="$alloc_budget" 'BEGIN {
+awk -v budget="$budget" -v allocBudget="$alloc_budget" '
+{
+	key = $1 SUBSEP $2
+	if (!(key in ns) || $3 + 0 < ns[key] + 0) ns[key] = $3
+	if (!(key in al) || ($4 != "-" && $4 + 0 < al[key] + 0)) al[key] = $4
+	if (!($1 in seen)) { order[n++] = $1; seen[$1] = 1 }
+}
+END {
 	fail = 0
-	delta = 100 * (head - base) / base
-	printf "bench_gate: time   baseline %.0f ns/op, head %.0f ns/op, delta %+.2f%% (budget +%s%%)\n",
-		base, head, delta, budget
-	if (delta > budget) {
-		print "bench_gate: FAIL — hot path wall time regressed beyond the budget"
-		fail = 1
-	}
-	if (headAllocs != "-" && baseAllocs != "-" && baseAllocs > 0) {
-		adelta = 100 * (headAllocs - baseAllocs) / baseAllocs
-		printf "bench_gate: allocs baseline %d allocs/op, head %d allocs/op, delta %+.2f%% (budget +%s%%)\n",
-			baseAllocs, headAllocs, adelta, allocBudget
-		if (adelta > allocBudget) {
-			print "bench_gate: FAIL — hot path allocations regressed beyond the budget"
+	for (i = 0; i < n; i++) {
+		b = order[i]
+		head = ns[b SUBSEP "head"]; base = ns[b SUBSEP "base"]
+		headAllocs = al[b SUBSEP "head"]; baseAllocs = al[b SUBSEP "base"]
+		delta = 100 * (head - base) / base
+		printf "bench_gate: %s\n", b
+		printf "bench_gate:   time   baseline %.0f ns/op, head %.0f ns/op, delta %+.2f%% (budget +%s%%)\n",
+			base, head, delta, budget
+		if (delta > budget) {
+			print "bench_gate:   FAIL — hot path wall time regressed beyond the budget"
 			fail = 1
+		}
+		if (headAllocs != "-" && baseAllocs != "-" && baseAllocs > 0) {
+			adelta = 100 * (headAllocs - baseAllocs) / baseAllocs
+			printf "bench_gate:   allocs baseline %d allocs/op, head %d allocs/op, delta %+.2f%% (budget +%s%%)\n",
+				baseAllocs, headAllocs, adelta, allocBudget
+			if (adelta > allocBudget) {
+				print "bench_gate:   FAIL — hot path allocations regressed beyond the budget"
+				fail = 1
+			}
 		}
 	}
 	if (fail) exit 1
 	print "bench_gate: OK"
-}'
+}' "$samples"

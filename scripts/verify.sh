@@ -14,8 +14,14 @@ go test -timeout 10m ./...
 go test -race -timeout 20m ./...
 
 # Full differential/property sweep (internal/simtest): engine vs the
-# naive reference engine, serial vs parallel, same-seed determinism, and
-# online trace validation, over 400 generated configs per property —
-# above the 224 a plain non-short `go test` uses and far above the 48 of
-# tier-1's -short mode.
+# naive reference engine, serial vs parallel, serial vs sharded commits,
+# same-seed determinism, and online trace validation, over 400 generated
+# configs per property — above the 224 a plain non-short `go test` uses
+# and far above the 48 of tier-1's -short mode.
 UGF_PROPERTY_CONFIGS=400 go test -count=1 -timeout 20m -run 'TestProperty' ./internal/simtest/
+
+# Sharded-commit race band: the shards property again, under the race
+# detector, on a reduced config band. The plain sweep above proves the
+# merge is outcome-preserving; this run is what actually exercises the
+# shard lanes' no-shared-mutable-state claim (CI runs the same band).
+UGF_PROPERTY_CONFIGS=64 go test -race -count=1 -timeout 15m -run 'TestPropertyShardsMatchSerial' ./internal/simtest/
