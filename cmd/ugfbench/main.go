@@ -87,6 +87,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		seed        = fs.Uint64("seed", 0, "base seed (0: default 2022)")
 		workers     = fs.Int("workers", 0, "parallel runs (0: GOMAXPROCS)")
 		shards      = fs.Int("shards", 0, "commit shards inside each run (0: serial commits; outcomes identical)")
+		faults      = fs.String("faults", "", "overlay a link-fault plan on every run, e.g. drop=0.1,dup=0.05,seed=7 (empty: no faults)")
+		stallWin    = fs.Int64("stallwindow", 0, "overlay a stall window: declare a stall after this many events without progress (0: off)")
 		list        = fs.Bool("list", false, "list experiments and exit")
 		progress    = fs.Bool("progress", true, "print run progress")
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -96,7 +98,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cancelAfter = fs.Int("cancelafter", 0, "cancel the sweep after this many completed runs — a deterministic SIGINT for tests (0: never)")
 		showStats   = fs.Bool("stats", false, "print aggregated engine statistics per experiment")
 		traceDir    = fs.String("trace", "", "stream one JSONL event trace per run into this directory (can be large)")
-		traceKinds  = fs.String("tracekinds", "", "comma-separated trace kinds to keep with -trace (default: all): send,arrive,step,crash,sleep,wake,adversary,end")
+		traceKinds  = fs.String("tracekinds", "", "comma-separated trace kinds to keep with -trace (default: all): send,arrive,step,crash,sleep,wake,adversary,end,recover,drop")
 		debugAddr   = fs.String("debugaddr", "", "serve expvar (/debug/vars, incl. live progress) and pprof (/debug/pprof) on this HTTP address")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -108,6 +110,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	kindMask, err := parseKindMask(*traceKinds)
 	if err != nil {
 		return err
+	}
+	faultPlan, err := sim.ParseFaultPlan(*faults)
+	if err != nil {
+		return err
+	}
+	if *stallWin < 0 {
+		return fmt.Errorf("stallwindow = %d, need ≥ 0", *stallWin)
 	}
 	if *traceKinds != "" && *traceDir == "" {
 		return errors.New("-tracekinds requires -trace")
@@ -201,6 +210,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cfg := experiments.Config{
 			Fidelity: fid, Workers: *workers, Shards: *shards, BaseSeed: *seed,
 			Context: ctx, MaxWall: *maxwall,
+			Faults: faultPlan, StallWindow: *stallWin,
 		}
 		prog := runner.NewProgress(nil, e.ID)
 		if *progress {
@@ -291,7 +301,7 @@ func parseKindMask(s string) (sim.KindMask, error) {
 	for _, name := range strings.Split(s, ",") {
 		k, ok := sim.ParseTraceKind(strings.TrimSpace(name))
 		if !ok {
-			return 0, fmt.Errorf("unknown trace kind %q (have send, arrive, step, crash, sleep, wake, adversary, end)", name)
+			return 0, fmt.Errorf("unknown trace kind %q (have send, arrive, step, crash, sleep, wake, adversary, end, recover, drop)", name)
 		}
 		mask |= sim.MaskOf(k)
 	}
@@ -336,12 +346,16 @@ func renderStats(w io.Writer, rep *experiments.Report) {
 		s.Events, s.HeapPushes, s.HeapPops, s.ActiveSteps)
 	fmt.Fprintf(w, "  messages:  %d sent, %d delivered, %d dropped at crashed procs, %d omitted%s\n",
 		s.Sends, s.Deliveries, s.DroppedCrashed, s.OmittedSends, kindBreakdown(s.MessagesByKind))
+	if s.DroppedLink != 0 || s.DupDeliveries != 0 || s.CorruptDrops != 0 {
+		fmt.Fprintf(w, "  faults:    %d dropped on links, %d duplicate deliveries, %d corrupt discards\n",
+			s.DroppedLink, s.DupDeliveries, s.CorruptDrops)
+	}
 	fmt.Fprintf(w, "  pressure:  max %d in flight, max %d pending in mailboxes\n",
 		s.MaxInFlight, s.MaxPending)
-	fmt.Fprintf(w, "  lifecycle: %d local steps, %d sleeps, %d wakes, %d crashes\n",
-		s.LocalSteps, s.Sleeps, s.Wakes, s.Crashes)
-	fmt.Fprintf(w, "  adversary: %d delta / %d delay / %d omission rewrites\n",
-		s.DeltaRewrites, s.DelayRewrites, s.OmitRewrites)
+	fmt.Fprintf(w, "  lifecycle: %d local steps, %d sleeps, %d wakes, %d crashes, %d recoveries\n",
+		s.LocalSteps, s.Sleeps, s.Wakes, s.Crashes, s.Recoveries)
+	fmt.Fprintf(w, "  adversary: %d delta / %d delay / %d omission / %d link rewrites\n",
+		s.DeltaRewrites, s.DelayRewrites, s.OmitRewrites, s.LinkRewrites)
 	fmt.Fprintf(w, "  wall time: init %v, run %v, finalize %v\n",
 		s.Wall.Init.Round(time.Microsecond), s.Wall.Run.Round(time.Microsecond),
 		s.Wall.Finalize.Round(time.Microsecond))

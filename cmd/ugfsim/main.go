@@ -43,9 +43,11 @@ func run(args []string, out io.Writer) error {
 		runs       = fs.Int("runs", 1, "repetitions (summary statistics when > 1)")
 		workers    = fs.Int("workers", 0, "parallel runs (0: GOMAXPROCS)")
 		shards     = fs.Int("shards", 0, "commit shards inside each run (0: serial commits; outcomes identical)")
+		faults     = fs.String("faults", "", "link-fault plan, e.g. drop=0.1,dup=0.05,corrupt=0.01,seed=7 (empty: no faults)")
+		stallWin   = fs.Int64("stallwindow", 0, "declare a stall after this many events without progress (0: off)")
 		trace      = fs.Bool("trace", false, "stream the event trace as text (runs=1 only)")
 		traceOut   = fs.String("traceout", "", "stream the event trace to this JSONL file (runs=1 only)")
-		traceKinds = fs.String("tracekinds", "", "comma-separated trace kinds to keep (default: all): send,arrive,step,crash,sleep,wake,adversary,end")
+		traceKinds = fs.String("tracekinds", "", "comma-separated trace kinds to keep (default: all): send,arrive,step,crash,sleep,wake,adversary,end,recover,drop")
 		showStats  = fs.Bool("stats", false, "print the engine's run-level statistics (runs=1 only)")
 		quiet      = fs.Bool("q", false, "print outcome line(s) only")
 		asJSON     = fs.Bool("json", false, "emit outcomes as JSON lines instead of text")
@@ -75,7 +77,14 @@ func run(args []string, out io.Writer) error {
 	if *shards < 0 {
 		return fmt.Errorf("shards = %d, need ≥ 0", *shards)
 	}
-	cfg := ugf.Config{N: *n, F: budget, Protocol: proto, Adversary: adv, Seed: *seed, Workers: *shards}
+	plan, err := ugf.ParseFaultPlan(*faults)
+	if err != nil {
+		return err
+	}
+	cfg := ugf.Config{
+		N: *n, F: budget, Protocol: proto, Adversary: adv, Seed: *seed, Workers: *shards,
+		Faults: plan, StallWindow: *stallWin,
+	}
 
 	emit := func(o ugf.Outcome) error {
 		if *asJSON {
@@ -89,7 +98,7 @@ func run(args []string, out io.Writer) error {
 	for _, name := range strings.FieldsFunc(*traceKinds, func(r rune) bool { return r == ',' }) {
 		k, ok := ugf.ParseTraceKind(strings.TrimSpace(name))
 		if !ok {
-			return fmt.Errorf("unknown trace kind %q (have send, arrive, step, crash, sleep, wake, adversary, end)", name)
+			return fmt.Errorf("unknown trace kind %q (have send, arrive, step, crash, sleep, wake, adversary, end, recover, drop)", name)
 		}
 		kinds |= ugf.MaskOf(k)
 	}
@@ -179,8 +188,8 @@ func run(args []string, out io.Writer) error {
 	if err := table.Text(out); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "rumor gathering: %.0f%%   cutoffs: %.0f%%\n",
-		100*runner.GatheredRate(outs), 100*runner.CutoffRate(outs))
+	fmt.Fprintf(out, "rumor gathering: %.0f%%   cutoffs: %.0f%%   stalls: %.0f%%\n",
+		100*runner.GatheredRate(outs), 100*runner.CutoffRate(outs), 100*runner.StalledRate(outs))
 	labels := map[string]int{}
 	for _, o := range outs {
 		if o.Strategy != "" {
@@ -219,15 +228,19 @@ func printStats(w io.Writer, s ugf.Stats) {
 		s.Events, s.HeapPushes, s.HeapPops, s.ActiveSteps)
 	fmt.Fprintf(w, "  messages:  %d sent, %d delivered, %d dropped at crashed procs, %d omitted\n",
 		s.Sends, s.Deliveries, s.DroppedCrashed, s.OmittedSends)
+	if s.DroppedLink != 0 || s.DupDeliveries != 0 || s.CorruptDrops != 0 {
+		fmt.Fprintf(w, "  faults:    %d dropped on links, %d duplicate deliveries, %d corrupt discards\n",
+			s.DroppedLink, s.DupDeliveries, s.CorruptDrops)
+	}
 	for _, kc := range s.MessagesByKind {
 		fmt.Fprintf(w, "             %s×%d\n", kc.Kind, kc.Count)
 	}
 	fmt.Fprintf(w, "  pressure:  max %d in flight, max %d pending in mailboxes\n",
 		s.MaxInFlight, s.MaxPending)
-	fmt.Fprintf(w, "  lifecycle: %d local steps, %d sleeps, %d wakes, %d crashes\n",
-		s.LocalSteps, s.Sleeps, s.Wakes, s.Crashes)
-	fmt.Fprintf(w, "  adversary: %d delta / %d delay / %d omission rewrites\n",
-		s.DeltaRewrites, s.DelayRewrites, s.OmitRewrites)
+	fmt.Fprintf(w, "  lifecycle: %d local steps, %d sleeps, %d wakes, %d crashes, %d recoveries\n",
+		s.LocalSteps, s.Sleeps, s.Wakes, s.Crashes, s.Recoveries)
+	fmt.Fprintf(w, "  adversary: %d delta / %d delay / %d omission / %d link rewrites\n",
+		s.DeltaRewrites, s.DelayRewrites, s.OmitRewrites, s.LinkRewrites)
 	fmt.Fprintf(w, "  wall time: init %v, run %v, finalize %v\n",
 		s.Wall.Init, s.Wall.Run, s.Wall.Finalize)
 	if len(s.Wall.ShardCommit) > 0 {

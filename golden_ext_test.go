@@ -32,6 +32,10 @@ type goldenExtCase struct {
 	adv        string
 	n, f       int
 	statsEvery ugf.Step
+	// PR 7 fault-model columns; zero values leave pre-fault cases
+	// byte-identical (Outcome's fault fields are omitempty).
+	faults      string // ParseFaultPlan spec, "" for none
+	stallWindow int64  // Config.StallWindow (events), 0 for off
 }
 
 // goldenExtMatrix crosses the under-covered protocols with the
@@ -78,6 +82,30 @@ func goldenExtMatrix() []goldenExtCase {
 		goldenExtCase{proto: "sears", adv: "none", n: 1000, f: 250, statsEvery: 0},
 		goldenExtCase{proto: "broadcast", adv: "omission", n: 1000, f: 250, statsEvery: 64},
 	)
+	// PR 7 appendix: the fault-model corners — lossy links (drop/dup/
+	// corrupt rolls in the delivery path), the partition adversary's
+	// class-blocked sends, and the crash-recovery lifecycle (amnesiac and
+	// retained restarts, send-residue discard). Every case sets a stall
+	// window so the hashes also pin the stall detector's no-false-positive
+	// behaviour on runs that do make progress.
+	cases = append(cases,
+		goldenExtCase{proto: "push-pull", adv: "none", n: 32, f: 10, statsEvery: 16,
+			faults: "drop=0.2,seed=11", stallWindow: 4096},
+		goldenExtCase{proto: "push", adv: "none", n: 32, f: 10, statsEvery: 0,
+			faults: "dup=0.25,seed=12", stallWindow: 4096},
+		goldenExtCase{proto: "ears", adv: "none", n: 32, f: 10, statsEvery: 16,
+			faults: "corrupt=0.2,seed=13", stallWindow: 4096},
+		goldenExtCase{proto: "sears", adv: "ugf", n: 32, f: 10, statsEvery: 8,
+			faults: "drop=0.1,dup=0.1,corrupt=0.1,seed=14", stallWindow: 4096},
+		goldenExtCase{proto: "push-pull", adv: "partition", n: 32, f: 10, statsEvery: 16,
+			stallWindow: 8192},
+		goldenExtCase{proto: "round-robin", adv: "partition", n: 24, f: 8, statsEvery: 0,
+			faults: "drop=0.05,seed=15", stallWindow: 8192},
+		goldenExtCase{proto: "push-pull", adv: "crash-recovery", n: 32, f: 10, statsEvery: 16,
+			stallWindow: 4096},
+		goldenExtCase{proto: "round-robin", adv: "crash-recovery", n: 24, f: 8, statsEvery: 8,
+			faults: "dup=0.1,seed=16", stallWindow: 4096},
+	)
 	return cases
 }
 
@@ -91,12 +119,18 @@ func goldenExtConfig(t testing.TB, c goldenExtCase, idx, workers int) ugf.Config
 	if !ok {
 		t.Fatalf("unknown adversary %q", c.adv)
 	}
+	fp, err := ugf.ParseFaultPlan(c.faults)
+	if err != nil {
+		t.Fatalf("fault spec %q: %v", c.faults, err)
+	}
 	return ugf.Config{
 		N: c.n, F: c.f, Protocol: proto, Adversary: adv,
 		Seed:           uint64(5000 + idx),
 		Workers:        workers,
 		StatsEvery:     c.statsEvery,
 		KeepPerProcess: true,
+		Faults:         fp,
+		StallWindow:    c.stallWindow,
 	}
 }
 
@@ -150,8 +184,15 @@ func TestGoldenExtPrint(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fmt.Printf("\t%q, // %d: %s/%s N=%d F=%d statsEvery=%d\n",
-			outcomeHash(t, o), i, c.proto, c.adv, c.n, c.f, c.statsEvery)
+		note := ""
+		if c.faults != "" {
+			note = " faults=" + c.faults
+		}
+		if c.stallWindow != 0 {
+			note += fmt.Sprintf(" stallWindow=%d", c.stallWindow)
+		}
+		fmt.Printf("\t%q, // %d: %s/%s N=%d F=%d statsEvery=%d%s\n",
+			outcomeHash(t, o), i, c.proto, c.adv, c.n, c.f, c.statsEvery, note)
 	}
 }
 
@@ -207,4 +248,12 @@ var goldenExtHashes = []string{
 	"235c67e8195c17c9", // 47: push-pull/none N=1000 F=250 statsEvery=32
 	"0213ffc521c06095", // 48: sears/none N=1000 F=250 statsEvery=0
 	"2d152eaed869245b", // 49: broadcast/omission N=1000 F=250 statsEvery=64
+	"30d2023ed4c2f18f", // 50: push-pull/none N=32 F=10 statsEvery=16 faults=drop=0.2,seed=11 stallWindow=4096
+	"0918ba44943dd96b", // 51: push/none N=32 F=10 statsEvery=0 faults=dup=0.25,seed=12 stallWindow=4096
+	"e4e2779c3f730b89", // 52: ears/none N=32 F=10 statsEvery=16 faults=corrupt=0.2,seed=13 stallWindow=4096
+	"56c0f175118f5dc8", // 53: sears/ugf N=32 F=10 statsEvery=8 faults=drop=0.1,dup=0.1,corrupt=0.1,seed=14 stallWindow=4096
+	"c74e4163f4a49c29", // 54: push-pull/partition N=32 F=10 statsEvery=16 stallWindow=8192
+	"0edd4204c1c322e7", // 55: round-robin/partition N=24 F=8 statsEvery=0 faults=drop=0.05,seed=15 stallWindow=8192
+	"2b717ecebb5ef967", // 56: push-pull/crash-recovery N=32 F=10 statsEvery=16 stallWindow=4096
+	"98e5fbdbbee326d3", // 57: round-robin/crash-recovery N=24 F=8 statsEvery=8 faults=dup=0.1,seed=16 stallWindow=4096
 }

@@ -1,0 +1,190 @@
+package adversary
+
+import (
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+// Partition is a network-partition adversary: it splits the membership
+// into communication classes (the network drops every message crossing a
+// class boundary at send time), holds the partition for a window of
+// active steps, heals it for a gap, and repeats for a fixed number of
+// cycles. After the last cycle the network stays healed, so runs under
+// the registry instance always terminate; the Permanent variant — which
+// never heals and therefore stalls any dissemination that needs cross-
+// class traffic — exists for the stall-detection machinery and is only
+// constructed directly, never served by the registry.
+type Partition struct {
+	// Classes is the number of partition classes (0 means 2; capped at N).
+	// Processes are dealt into classes evenly — a random permutation taken
+	// mod Classes, re-drawn each cycle — so every class is non-empty and
+	// Classes = N isolates every process.
+	Classes int
+	// Window is how many active steps each partition lasts (0 means 64).
+	Window sim.Step
+	// Gap is how many active steps the network stays healed between
+	// partitions (0 means 32).
+	Gap sim.Step
+	// Cycles is how many partition windows to run (0 means 2).
+	Cycles int
+	// Permanent partitions once at step 1 and never heals. Window, Gap
+	// and Cycles are ignored. Runs that need cross-class traffic to make
+	// progress will stall; pair it with Config.StallWindow.
+	Permanent bool
+}
+
+// Name implements sim.Adversary.
+func (Partition) Name() string { return "partition" }
+
+// New implements sim.Adversary.
+func (a Partition) New(n, f int, rng *xrand.RNG) sim.AdversaryInstance {
+	classes, window, gap, cycles := a.Classes, a.Window, a.Gap, a.Cycles
+	if classes == 0 {
+		classes = 2
+	}
+	if window == 0 {
+		window = 64
+	}
+	if gap == 0 {
+		gap = 32
+	}
+	if cycles == 0 {
+		cycles = 2
+	}
+	if classes > n {
+		classes = n
+	}
+	return &partitionInstance{
+		n: n, classes: classes, window: window, gap: gap,
+		cycles: cycles, permanent: a.Permanent, rng: rng,
+	}
+}
+
+type partitionInstance struct {
+	n         int
+	classes   int
+	window    sim.Step
+	gap       sim.Step
+	cycles    int
+	permanent bool
+	rng       *xrand.RNG
+
+	split bool     // a partition is currently in force
+	next  sim.Step // first step at/after which the phase flips
+	done  int      // completed partition windows
+}
+
+func (a *partitionInstance) Init(view sim.View, ctl sim.Control) {}
+
+// Observe drives the window/gap cycle on active steps. Phases are timed
+// against observed steps — the engine skips steps at which nothing can
+// happen, and flipping the partition during such a step would be
+// unobservable anyway.
+func (a *partitionInstance) Observe(now sim.Step, _ []sim.SendRecord, view sim.View, ctl sim.Control) {
+	if a.split {
+		if !a.permanent && now >= a.next {
+			for p := 0; p < a.n; p++ {
+				ctl.SetClass(sim.ProcID(p), 0)
+			}
+			a.split = false
+			a.done++
+			a.next = now + a.gap
+		}
+		return
+	}
+	if a.done >= a.cycles && !a.permanent {
+		return // permanently healed
+	}
+	if a.done > 0 && now < a.next {
+		return // still in the gap between windows
+	}
+	perm := a.rng.Perm(a.n)
+	for p := 0; p < a.n; p++ {
+		ctl.SetClass(sim.ProcID(p), perm[p]%a.classes)
+	}
+	a.split = true
+	a.next = now + a.window
+}
+
+func (a *partitionInstance) Label() string { return "" }
+
+// CrashRecovery exercises the crash-recovery lifecycle: it samples up to
+// ⌊F/2⌋ victims (so each crash leaves budget for its own recovery — the
+// budget counts cumulative crash events), crashes each at a pre-committed
+// step, and recovers it Downtime active steps later, flipping a coin per
+// victim between amnesiac and retained recovery. Against Forgetter
+// protocols the amnesiac half restarts dissemination from scratch.
+type CrashRecovery struct {
+	// MaxTime bounds the crash times (uniform on [1, MaxTime]); 0 means 2N.
+	MaxTime sim.Step
+	// Downtime is how many steps a victim stays down (0 means 16).
+	Downtime sim.Step
+}
+
+// Name implements sim.Adversary.
+func (CrashRecovery) Name() string { return "crash-recovery" }
+
+// New implements sim.Adversary.
+func (a CrashRecovery) New(n, f int, rng *xrand.RNG) sim.AdversaryInstance {
+	maxTime := a.MaxTime
+	if maxTime == 0 {
+		maxTime = sim.Step(2 * n)
+	}
+	downtime := a.Downtime
+	if downtime == 0 {
+		downtime = 16
+	}
+	inst := &crashRecoveryInstance{}
+	for _, v := range rng.SampleInts(n, f/2) {
+		inst.plan = append(inst.plan, plannedOutage{
+			victim:  sim.ProcID(v),
+			crashAt: 1 + sim.Step(rng.Int63n(int64(maxTime))),
+			down:    downtime,
+			amnesia: rng.Bernoulli(0.5),
+		})
+	}
+	return inst
+}
+
+type plannedOutage struct {
+	victim    sim.ProcID
+	crashAt   sim.Step
+	down      sim.Step
+	amnesia   bool
+	crashed   bool
+	recoverAt sim.Step
+}
+
+type crashRecoveryInstance struct {
+	plan []plannedOutage
+}
+
+func (a *crashRecoveryInstance) Init(sim.View, sim.Control) {}
+
+// Observe executes each outage: crash at the first observed step at or
+// after the planned time, recover once the downtime has elapsed. A crash
+// the budget refuses (another adversary spent it first — impossible under
+// this adversary alone) retires the outage.
+func (a *crashRecoveryInstance) Observe(now sim.Step, _ []sim.SendRecord, view sim.View, ctl sim.Control) {
+	for i := 0; i < len(a.plan); {
+		o := &a.plan[i]
+		switch {
+		case !o.crashed && o.crashAt <= now:
+			if ctl.Crash(o.victim) {
+				o.crashed = true
+				o.recoverAt = now + o.down
+				i++
+				continue
+			}
+		case o.crashed && o.recoverAt <= now:
+			ctl.Recover(o.victim, o.amnesia)
+		default:
+			i++
+			continue
+		}
+		a.plan[i] = a.plan[len(a.plan)-1]
+		a.plan = a.plan[:len(a.plan)-1]
+	}
+}
+
+func (a *crashRecoveryInstance) Label() string { return "" }

@@ -41,7 +41,7 @@ func MustByName(name string) sim.Adversary {
 var names = []string{
 	"none", "ugf", "ugf-sampled",
 	"strategy-1", "strategy-2.1.0", "strategy-2.1.1",
-	"oblivious", "omission",
+	"oblivious", "omission", "partition", "crash-recovery",
 }
 
 // registry maps names to configured values. The strategy keys name the
@@ -58,4 +58,9 @@ var registry = map[string]sim.Adversary{
 	"strategy-2.1.1":     core.Strategy2KL{},
 	(Oblivious{}).Name(): Oblivious{},
 	(Omission{}).Name():  Omission{},
+	// The registry partition always heals after its cycles, so property
+	// sweeps over registry names terminate; Partition{Permanent: true} is
+	// only ever constructed directly.
+	(Partition{}).Name():     Partition{},
+	(CrashRecovery{}).Name(): CrashRecovery{},
 }

@@ -96,6 +96,16 @@ type Config struct {
 	// MaxWall is the per-run wall-clock watchdog (0: none); runs stopped
 	// by it count as cutoffs and never enter complexity statistics.
 	MaxWall time.Duration
+	// Faults, when non-nil, overlays a link-fault plan on every spec that
+	// does not set its own (ugfbench -faults): the whole sweep runs over
+	// the same lossy network. Experiments that sweep fault rates
+	// themselves (degradation) keep their per-spec plans.
+	Faults *sim.FaultPlan
+	// StallWindow, when > 0, overlays a stall window on every spec that
+	// does not set its own (ugfbench -stallwindow), so fault-heavy sweeps
+	// terminate with classified Stalled outcomes instead of spinning to
+	// the event horizon.
+	StallWindow int64
 }
 
 func (c Config) context() context.Context {
@@ -180,7 +190,7 @@ var canonicalOrder = map[string]int{
 	"fig3a": 0, "fig3b": 1, "fig3c": 2, "fig3d": 3, "fig3e": 4,
 	"example1": 5, "lemma45": 6, "lemma1": 7, "tradeoff": 8,
 	"fsweep": 9, "strategies": 10, "oblivious": 11,
-	"adaptation": 12, "omission": 13, "tuning": 14,
+	"adaptation": 12, "omission": 13, "tuning": 14, "degradation": 15,
 }
 
 // All returns every experiment in the paper's presentation order;
@@ -231,6 +241,14 @@ func execute(rep *Report, cfg Config, specs []runner.Spec) ([]runner.Result, err
 	if cfg.Shards > 0 {
 		for i := range specs {
 			specs[i].Base.Workers = cfg.Shards
+		}
+	}
+	for i := range specs {
+		if cfg.Faults != nil && specs[i].Base.Faults == nil {
+			specs[i].Base.Faults = cfg.Faults
+		}
+		if cfg.StallWindow > 0 && specs[i].Base.StallWindow == 0 {
+			specs[i].Base.StallWindow = cfg.StallWindow
 		}
 	}
 	results, err := runner.ExecuteContext(cfg.context(), specs, runner.Options{

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3a", "fig3b", "fig3c", "fig3d", "fig3e",
 		"example1", "lemma45", "lemma1", "tradeoff",
 		"fsweep", "strategies", "oblivious", "adaptation", "omission",
-		"tuning",
+		"tuning", "degradation",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -136,6 +136,27 @@ func TestExample1ShapeQuick(t *testing.T) {
 	}
 	if !hasNote(rep, "M quadratic and T linear: REPRODUCED") {
 		t.Errorf("example 1 shape not reproduced; notes: %v", rep.Notes)
+	}
+}
+
+// TestDegradationQuick checks the fault-model sweep actually exercises
+// the fault machinery: the aggregated engine counters must show link
+// drops (the lossy-link specs) and recoveries (the crash-recovery
+// specs), and the sweep must degrade gracefully — the claim its own
+// notes assert.
+func TestDegradationQuick(t *testing.T) {
+	rep, err := mustExp(t, "degradation").Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Engine.DroppedLink == 0 {
+		t.Error("no link drops recorded across the lossy specs")
+	}
+	if rep.Engine.Recoveries == 0 {
+		t.Error("no recoveries recorded across the crash-recovery specs")
+	}
+	if !hasNote(rep, "stalls detected): REPRODUCED") {
+		t.Errorf("graceful-degradation claim not reproduced; notes: %v", rep.Notes)
 	}
 }
 

@@ -47,6 +47,16 @@ func (p *roundRobinProc) Asleep() bool { return p.next >= p.env.N-1 }
 // Knows implements sim.Process.
 func (p *roundRobinProc) Knows(g sim.ProcID) bool { return p.known.has(int(g)) }
 
+// Forget implements sim.Forgetter: an amnesiac recovery resets the
+// process to its initial knowledge — only its own gossip — and restarts
+// its send schedule from the first recipient, so it resumes awake and
+// re-disseminates from scratch.
+func (p *roundRobinProc) Forget() {
+	p.known = newBitset(p.env.N)
+	p.known.add(int(p.env.ID))
+	p.next = 0
+}
+
 // Broadcast is the trivial protocol from the paper's introduction: every
 // process sends its gossip to everyone in its first local step. One
 // communication round, N(N−1) messages — the ceiling on useful message
@@ -93,3 +103,11 @@ func (p *broadcastProc) Asleep() bool { return p.done }
 
 // Knows implements sim.Process.
 func (p *broadcastProc) Knows(g sim.ProcID) bool { return p.known.has(int(g)) }
+
+// Forget implements sim.Forgetter: amnesiac recovery rewinds the process
+// to before its broadcast, so it fans its gossip out again.
+func (p *broadcastProc) Forget() {
+	p.known = newBitset(p.env.N)
+	p.known.add(int(p.env.ID))
+	p.done = false
+}

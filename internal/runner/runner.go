@@ -460,6 +460,8 @@ func GatheredRate(outs []sim.Outcome) float64 {
 
 // CutoffRate returns the fraction of outcomes cut off by the horizon or
 // event limit; such outcomes must not enter complexity statistics.
+// Stall-detected outcomes count — Outcome.Stalled implies HorizonHit — so
+// cutoff-aware statistics skip them without special-casing.
 func CutoffRate(outs []sim.Outcome) float64 {
 	if len(outs) == 0 {
 		return 0
@@ -467,6 +469,26 @@ func CutoffRate(outs []sim.Outcome) float64 {
 	n := 0
 	for _, o := range outs {
 		if o.HorizonHit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(outs))
+}
+
+// StalledRate returns the fraction of outcomes ended by stall detection
+// (Outcome.Stalled): the run made no progress for Config.StallWindow
+// consecutive events — a fully partitioned network, say — and terminated
+// early instead of spinning to the horizon. A stalled run is a completed,
+// classified outcome, not a failure: it never enters Result.Errors, and
+// because Stalled implies HorizonHit it is already excluded from
+// complexity statistics.
+func StalledRate(outs []sim.Outcome) float64 {
+	if len(outs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, o := range outs {
+		if o.Stalled {
 			n++
 		}
 	}

@@ -64,16 +64,29 @@ type System interface {
 	// Delta and Delay return p's current δ_ρ and d_ρ.
 	Delta(p ProcID) Step
 	Delay(p ProcID) Step
-	// CrashCount returns the number of processes crashed so far.
+	// CrashCount returns the number of processes currently crashed;
+	// CrashesEver the cumulative crash events, which is what the budget F
+	// is enforced against (a crash–recover–crash cycle costs two).
 	CrashCount() int
+	CrashesEver() int
 	// Crash fails p now (Definition II.5), reporting whether it happened;
 	// it must refuse out-of-range, already-crashed, and budget-exhausted
-	// requests. SetDelta/SetDelay rewrite δ_p/d_p (≥ 1, panicking
-	// otherwise); SetOmitFrom toggles omission of p's sends.
+	// requests. Recover brings a crashed p back (amnesia resets volatile
+	// protocol state, see Forgetter), refusing out-of-range and
+	// not-crashed requests. SetDelta/SetDelay rewrite δ_p/d_p (≥ 1,
+	// panicking otherwise); SetOmitFrom toggles omission of p's sends.
 	Crash(p ProcID) bool
+	Recover(p ProcID, amnesia bool) bool
 	SetDelta(p ProcID, v Step)
 	SetDelay(p ProcID, v Step)
 	SetOmitFrom(p ProcID, omit bool)
+	// SetClass assigns p to partition class c (≥ 0; every process starts
+	// in class 0): the network blocks messages between distinct classes.
+	// DropLink and HealLink down/restore the directed link from → to;
+	// messages on a downed link are dropped at send (Stats.DroppedLink).
+	SetClass(p ProcID, c int)
+	DropLink(from, to ProcID)
+	HealLink(from, to ProcID)
 }
 
 // View is the adversary's read-only window onto the system state P_t.
@@ -131,6 +144,18 @@ func NewControl(sys System) Control { return Control{sys: sys} }
 // already crashed, or the budget F is exhausted.
 func (c Control) Crash(p ProcID) bool { return c.sys.Crash(p) }
 
+// Recover brings a crashed process back to life: it resumes local steps
+// at Now + δ_p. Messages that were in flight to p when it crashed stay
+// lost — the network already discarded them — and messages sent to p
+// while it was down were dropped at send; only post-recovery traffic
+// reaches it. With amnesia true the process also loses its volatile
+// state, resetting to its initial knowledge if its protocol implements
+// Forgetter; with amnesia false it resumes with its pre-crash state (the
+// stable-storage model). Recover reports whether it happened; it returns
+// false when p is out of range or not crashed. Recovery does not refund
+// the crash budget: F bounds cumulative crash events.
+func (c Control) Recover(p ProcID, amnesia bool) bool { return c.sys.Recover(p, amnesia) }
+
 // SetDelta rewrites δ_p to v (≥ 1) and re-anchors p's local-step schedule
 // at the current step: p's next local step is Now + v.
 func (c Control) SetDelta(p ProcID, v Step) { c.sys.SetDelta(p, v) }
@@ -139,8 +164,25 @@ func (c Control) SetDelta(p ProcID, v Step) { c.sys.SetDelta(p, v) }
 // are affected; in-flight messages keep the delivery time stamped at send.
 func (c Control) SetDelay(p ProcID, v Step) { c.sys.SetDelay(p, v) }
 
-// BudgetLeft returns how many more processes may be crashed.
-func (c Control) BudgetLeft() int { return c.sys.CrashBudget() - c.sys.CrashCount() }
+// BudgetLeft returns how many more crash events the budget allows.
+// Recoveries do not refund it: F bounds cumulative crashes, so a
+// crash–recover–crash cycle consumes two.
+func (c Control) BudgetLeft() int { return c.sys.CrashBudget() - c.sys.CrashesEver() }
+
+// SetClass assigns p to partition class c (≥ 0). Every process starts in
+// class 0; the network drops any message whose sender and receiver are in
+// different classes at send time (counted in Stats.DroppedLink). Setting
+// every process back to one class heals the partition.
+func (c Control) SetClass(p ProcID, class int) { c.sys.SetClass(p, class) }
+
+// DropLink downs the directed link from → to: messages sent on it are
+// dropped at send (counted in Stats.DroppedLink) until HealLink restores
+// it. In-flight messages are unaffected. Down a pair symmetrically with
+// two calls.
+func (c Control) DropLink(from, to ProcID) { c.sys.DropLink(from, to) }
+
+// HealLink restores the directed link from → to.
+func (c Control) HealLink(from, to ProcID) { c.sys.HealLink(from, to) }
 
 // SetOmitFrom controls message omission for p: while enabled, every
 // message p sends is counted in M(O) and visible in the send records, but

@@ -33,6 +33,18 @@ type Config struct {
 	// plus messages), guarding against non-quiescent protocols that stay
 	// busy forever. 0 means DefaultMaxEvents. Hitting it sets HorizonHit.
 	MaxEvents int64
+	// Faults, when non-nil, is the run's link-fault plan: deterministic,
+	// seeded drop/duplicate/corrupt-delivery rules applied per message
+	// (see FaultPlan). The engine copies the plan at construction; nil
+	// injects nothing.
+	Faults *FaultPlan
+	// StallWindow, when > 0, enables stall detection: a run that
+	// processes StallWindow consecutive events with no delivery and no
+	// lifecycle transition (sleep, wake, crash, recovery) stops with
+	// Outcome.Stalled set — the bounded, deterministic termination of a
+	// fully-partitioned or fully-lossy run that would otherwise spin to
+	// Horizon/MaxEvents. 0 disables detection.
+	StallWindow int64
 	// Workers > 1 executes the local steps of each global step on that
 	// many goroutines. Outcomes are bit-identical to serial execution.
 	Workers int
@@ -159,6 +171,7 @@ func (e *engine) dispose() {
 	e.sched = scheduler{}
 	e.ptab = payloadTable{}
 	e.procs, e.outboxes, e.sendLog, e.lanes = nil, nil, nil, nil
+	e.class, e.linkDown = nil, nil
 }
 
 type engine struct {
@@ -188,10 +201,35 @@ type engine struct {
 	inflightToCorrect int64
 	msgTotal          int64
 	crashCount        int
+	crashesEver       int
 	eventCount        int64
 	horizonHit        bool
 	cancelled         bool
 	lastSample        Step
+
+	// Fault-model state (faults.go). faults is the run's (copied) fault
+	// plan, nil when inactive. class and linkDown are the adversary's
+	// partition classes and downed links; both are read-only outside
+	// Observe, so shard lanes read them freely. linkActive is the hot
+	// path's one-bool gate: it goes true the first time any link-state
+	// write happens and never resets, so fault-free runs pay one
+	// predictable branch per send. everRecovered gates the delivery path's
+	// pre-crash-residue check the same way.
+	faults        *FaultPlan
+	class         []int32
+	linkDown      map[int64]struct{}
+	linkActive    bool
+	everRecovered bool
+
+	// Stall detection (Config.StallWindow): stallSig is the progress
+	// signature — deliveries plus lifecycle transitions — at the last
+	// event that advanced it, stallBase the event count then. The run
+	// stalls when eventCount outruns stallBase by the window with the
+	// signature unchanged.
+	stallWindow int64
+	stallSig    int64
+	stallBase   int64
+	stalled     bool
 
 	// Observability (see stats.go). All counting happens in the serial
 	// engine phases, so Stats is identical under parallel stepping.
@@ -233,6 +271,13 @@ func newEngine(cfg Config) (*engine, error) {
 		return nil, fmt.Errorf("sim: Horizon = %d, need ≥ 0", cfg.Horizon)
 	case cfg.MaxEvents < 0:
 		return nil, fmt.Errorf("sim: MaxEvents = %d, need ≥ 0", cfg.MaxEvents)
+	case cfg.StallWindow < 0:
+		return nil, fmt.Errorf("sim: StallWindow = %d, need ≥ 0", cfg.StallWindow)
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	n := cfg.N
 	e := &engine{
@@ -244,6 +289,11 @@ func newEngine(cfg Config) (*engine, error) {
 		awakeCorrect: n,
 		workers:      cfg.Workers,
 		statsEvery:   cfg.StatsEvery,
+		stallWindow:  cfg.StallWindow,
+	}
+	if cfg.Faults.Active() {
+		plan := *cfg.Faults
+		e.faults = &plan
 	}
 	if e.horizon == 0 {
 		e.horizon = DefaultHorizon
@@ -321,6 +371,8 @@ func (e *engine) run() {
 		switch {
 		case e.cancelled:
 			note = "cancelled"
+		case e.stalled:
+			note = "stalled"
 		case e.horizonHit:
 			note = "horizon"
 		}
@@ -348,6 +400,25 @@ func (e *engine) stepOnce() bool {
 	if t > e.horizon || e.eventCount > e.maxEvents {
 		e.horizonHit = true
 		return false
+	}
+	if e.stallWindow > 0 {
+		// Progress signature: a run moves forward only through deliveries
+		// and lifecycle transitions. A system that churns through a full
+		// event window of local steps and sends without any of them — the
+		// partitioned/fully-lossy regime, where every send is dropped — can
+		// never quiesce and is stopped here as Stalled instead of spinning
+		// to Horizon/MaxEvents. The check is a pure function of the
+		// deterministic counters, so engine and oracle stall on the
+		// identical event.
+		sig := e.st.Deliveries + e.st.Sleeps + e.st.Wakes + e.st.Crashes + e.st.Recoveries
+		if sig != e.stallSig {
+			e.stallSig = sig
+			e.stallBase = e.eventCount
+		} else if e.eventCount-e.stallBase >= e.stallWindow {
+			e.stalled = true
+			e.horizonHit = true
+			return false
+		}
 	}
 	e.now = t
 	e.st.ActiveSteps++
@@ -462,8 +533,10 @@ func (e *engine) boundaryOnOrAfter(p ProcID, t Step) Step {
 
 // payloadVal resolves a packed calendar ref (table index << 32 | slot) to
 // its boxed payload: table 0 is the serial-commit table, table s+1 the
-// payload table of shard lane s.
+// payload table of shard lane s. The high fault-marker bits (faults.go)
+// are masked off first.
 func (e *engine) payloadVal(ref int64) Payload {
+	ref &^= refFaultMask
 	if ti := ref >> 32; ti != 0 {
 		return e.lanes[ti-1].ptab.val(int32(ref))
 	}
@@ -472,6 +545,7 @@ func (e *engine) payloadVal(ref int64) Payload {
 
 // releaseRef drops one calendar copy of a packed ref.
 func (e *engine) releaseRef(ref int64) {
+	ref &^= refFaultMask
 	if ti := ref >> 32; ti != 0 {
 		e.lanes[ti-1].ptab.release(int32(ref))
 		return
@@ -487,13 +561,42 @@ func (e *engine) deliver(t Step) {
 	for _, m := range bucket.msgs {
 		e.inflight--
 		to := ProcID(m.to)
-		if e.pt.crashed(to) {
-			// inflightTo[to] was zeroed when to crashed; just drop.
+		dup := m.ref&refDupBit != 0
+		if e.pt.crashed(to) || (e.everRecovered && m.sentAt < e.pt.lastCrash[to]) {
+			// inflightTo[to] was zeroed when to crashed; just drop. The
+			// second clause is pre-crash residue: to has recovered, but
+			// this message was sent before its last crash, so the network
+			// already discarded it (and its accounting) at crash time.
 			e.st.DroppedCrashed++
+			if e.cfg.Trace != nil {
+				note := "crashed"
+				if dup {
+					note = "crashed dup"
+				}
+				e.trace(TraceEvent{Kind: TraceDrop, Step: t, Proc: to, Other: ProcID(m.from),
+					Payload: e.payloadVal(m.ref), Note: note})
+			}
+			e.releaseRef(m.ref)
+			continue
+		}
+		if m.ref&refCorruptBit != 0 {
+			// Corrupted in transit: the receiver detects and discards it
+			// at delivery without reading it. Unlike the crashed drop, the
+			// message's in-flight accounting is still live.
+			e.st.CorruptDrops++
+			e.pt.inflightTo[to]--
+			e.inflightToCorrect--
+			if e.cfg.Trace != nil {
+				e.trace(TraceEvent{Kind: TraceDrop, Step: t, Proc: to, Other: ProcID(m.from),
+					Payload: e.payloadVal(m.ref), Note: "corrupt"})
+			}
 			e.releaseRef(m.ref)
 			continue
 		}
 		e.st.Deliveries++
+		if dup {
+			e.st.DupDeliveries++
+		}
 		if e.statsEvery > 0 {
 			e.interval.Deliveries++
 		}
@@ -513,7 +616,11 @@ func (e *engine) deliver(t Step) {
 			e.sched.scheduleProc(to, e.boundaryOnOrAfter(to, t))
 		}
 		if e.cfg.Trace != nil {
-			e.trace(TraceEvent{Kind: TraceArrive, Step: t, Proc: to, Other: ProcID(m.from), Payload: pl})
+			note := ""
+			if dup {
+				note = "dup"
+			}
+			e.trace(TraceEvent{Kind: TraceArrive, Step: t, Proc: to, Other: ProcID(m.from), Payload: pl, Note: note})
 		}
 	}
 	if e.totalPending > e.st.MaxPending {
@@ -622,12 +729,32 @@ func (e *engine) commitOne(t Step, p ProcID) {
 			// Counted in M(O), but undeliverable.
 			if e.pt.crashed(to) {
 				e.st.DroppedCrashed++
+				e.traceSendDrop(t, p, to, ob.staged[d.pi], "crashed")
 			} else {
 				e.st.OmittedSends++
+				e.traceSendDrop(t, p, to, ob.staged[d.pi], "omit")
 			}
 			continue
 		}
-		if e.cal.add(deliverAt, imessage{from: int32(p), to: d.to, ref: int64(res[d.pi]), sentAt: t}) {
+		if e.linkActive && e.linkBlocked(p, to) {
+			e.st.DroppedLink++
+			e.traceSendDrop(t, p, to, ob.staged[d.pi], "link")
+			continue
+		}
+		fault := FaultNone
+		if e.faults != nil {
+			fault = e.faults.Roll(p, to, t, e.pt.sent[p])
+			if fault == FaultDrop {
+				e.st.DroppedLink++
+				e.traceSendDrop(t, p, to, ob.staged[d.pi], "loss")
+				continue
+			}
+		}
+		ref := int64(res[d.pi])
+		if fault == FaultCorrupt {
+			ref |= refCorruptBit
+		}
+		if e.cal.add(deliverAt, imessage{from: int32(p), to: d.to, ref: ref, sentAt: t}) {
 			e.sched.scheduleDelivery(deliverAt)
 		}
 		cnt[d.pi]++
@@ -637,6 +764,20 @@ func (e *engine) commitOne(t Step, p ProcID) {
 		}
 		e.pt.inflightTo[to]++
 		e.inflightToCorrect++
+		if fault == FaultDuplicate {
+			// Second copy of a duplicated delivery: same step, flagged so
+			// delivery counts it as the duplicate.
+			if e.cal.add(deliverAt, imessage{from: int32(p), to: d.to, ref: int64(res[d.pi]) | refDupBit, sentAt: t}) {
+				e.sched.scheduleDelivery(deliverAt)
+			}
+			cnt[d.pi]++
+			e.inflight++
+			if e.inflight > e.st.MaxInFlight {
+				e.st.MaxInFlight = e.inflight
+			}
+			e.pt.inflightTo[to]++
+			e.inflightToCorrect++
+		}
 	}
 	// One batched refcount update per staged payload — not one per copy —
 	// and an immediate sweep of slots whose every send was dropped before
@@ -731,9 +872,36 @@ func (e *engine) stepParallel(t Step, due []ProcID) {
 	}
 }
 
+// linkBlocked reports whether the network blocks sends from → to: the
+// endpoints sit in different partition classes, or the adversary downed
+// the directed link. Read-only during commits, so shard lanes call it
+// concurrently.
+func (e *engine) linkBlocked(from, to ProcID) bool {
+	if e.class != nil && e.class[from] != e.class[to] {
+		return true
+	}
+	if len(e.linkDown) > 0 {
+		if _, down := e.linkDown[linkKey(from, to)]; down {
+			return true
+		}
+	}
+	return false
+}
+
+// traceSendDrop emits the drop event of a send suppressed at send time
+// (crashed receiver, omission, link block, or loss roll). Only the serial
+// commit path traces — sharded commits run untraced by construction.
+func (e *engine) traceSendDrop(t Step, from, to ProcID, pl Payload, note string) {
+	if e.cfg.Trace != nil {
+		e.trace(TraceEvent{Kind: TraceDrop, Step: t, Proc: to, Other: from, Payload: pl, Note: note})
+	}
+}
+
 func (e *engine) crashProcess(p ProcID) {
 	e.pt.setCrashed(p)
+	e.pt.lastCrash[p] = e.now
 	e.crashCount++
+	e.crashesEver++
 	e.st.Crashes++
 	if e.statsEvery > 0 {
 		e.interval.Crashes++
@@ -768,6 +936,7 @@ func (e *engine) outcome() Outcome {
 		Messages:   e.msgTotal,
 		Crashed:    e.crashCount,
 		HorizonHit: e.horizonHit,
+		Stalled:    e.stalled,
 		Cancelled:  e.cancelled,
 	}
 	if e.cfg.Adversary != nil {

@@ -60,31 +60,61 @@ type oracle struct {
 	procs []sim.Process
 	adv   sim.AdversaryInstance
 
-	awake   []bool // false for sleeping AND crashed processes
-	crashed []bool
-	omitted []bool
-	delta   []sim.Step
-	delay   []sim.Step
-	anchor  []sim.Step
+	awake     []bool // false for sleeping AND crashed processes
+	crashed   []bool
+	omitted   []bool
+	delta     []sim.Step
+	delay     []sim.Step
+	anchor    []sim.Step
+	lastCrash []sim.Step // step of the most recent crash (0: never crashed)
 
 	pending  [][]sim.Message
-	inflight map[sim.Step][]sim.Message // the entire "calendar": one plain map
+	inflight map[sim.Step][]omsg // the entire "calendar": one plain map
 
 	sent     []int64
 	lastSend []sim.Step
 	sendLog  []sim.SendRecord
 	outboxes []sim.Outbox
 
-	msgTotal   int64
-	crashCount int
-	eventCount int64
-	inFlightCt int64
-	horizonHit bool
+	// Fault-model state, mirroring the engine's semantics (not its code):
+	// partition classes, downed directed links, and the per-message fault
+	// plan. Rolls go through the shared pure hash sim.FaultPlan.Roll, the
+	// one deliberate sharing point — the roll is part of the semantics (a
+	// seeded fault pattern), not an engine implementation choice.
+	faults   *sim.FaultPlan
+	class    []int32
+	linkDown map[int64]struct{}
+
+	msgTotal    int64
+	crashCount  int
+	crashesEver int
+	eventCount  int64
+	inFlightCt  int64
+	horizonHit  bool
+
+	// Stall detection, mirroring the engine's event-window rule.
+	stallWindow int64
+	stallSig    int64
+	stallBase   int64
+	stalled     bool
 
 	st         sim.Stats
 	kinds      map[string]int64
 	statsEvery sim.Step
 	interval   sim.IntervalStats
+}
+
+// omsg is one in-flight message plus its fault markers: dup flags the
+// extra copy of a duplicated delivery, corrupt a message the receiver
+// will detect and discard at delivery.
+type omsg struct {
+	m            sim.Message
+	dup, corrupt bool
+}
+
+// linkKey packs a directed link into the linkDown set's key.
+func linkKey(from, to sim.ProcID) int64 {
+	return int64(from)<<32 | int64(to)
 }
 
 func newOracle(cfg sim.Config) (*oracle, error) {
@@ -99,6 +129,13 @@ func newOracle(cfg sim.Config) (*oracle, error) {
 		return nil, fmt.Errorf("oracle: Horizon = %d, need ≥ 0", cfg.Horizon)
 	case cfg.MaxEvents < 0:
 		return nil, fmt.Errorf("oracle: MaxEvents = %d, need ≥ 0", cfg.MaxEvents)
+	case cfg.StallWindow < 0:
+		return nil, fmt.Errorf("oracle: StallWindow = %d, need ≥ 0", cfg.StallWindow)
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	n := cfg.N
 	e := &oracle{
@@ -106,12 +143,18 @@ func newOracle(cfg sim.Config) (*oracle, error) {
 		horizon: cfg.Horizon, maxEvents: cfg.MaxEvents,
 		awake: make([]bool, n), crashed: make([]bool, n), omitted: make([]bool, n),
 		delta: make([]sim.Step, n), delay: make([]sim.Step, n), anchor: make([]sim.Step, n),
-		pending:  make([][]sim.Message, n),
-		inflight: make(map[sim.Step][]sim.Message),
-		sent:     make([]int64, n), lastSend: make([]sim.Step, n),
-		outboxes:   make([]sim.Outbox, n),
-		kinds:      make(map[string]int64),
-		statsEvery: cfg.StatsEvery,
+		lastCrash: make([]sim.Step, n),
+		pending:   make([][]sim.Message, n),
+		inflight:  make(map[sim.Step][]omsg),
+		sent:      make([]int64, n), lastSend: make([]sim.Step, n),
+		outboxes:    make([]sim.Outbox, n),
+		kinds:       make(map[string]int64),
+		statsEvery:  cfg.StatsEvery,
+		stallWindow: cfg.StallWindow,
+	}
+	if cfg.Faults.Active() {
+		plan := *cfg.Faults
+		e.faults = &plan
 	}
 	if e.horizon == 0 {
 		e.horizon = sim.DefaultHorizon
@@ -152,6 +195,20 @@ func (e *oracle) run() {
 			e.horizonHit = true
 			break
 		}
+		if e.stallWindow > 0 {
+			// Same progress-signature rule as the engine, checked at the
+			// same point, over the same deterministic counters — the two
+			// implementations stall on the identical event.
+			sig := e.st.Deliveries + e.st.Sleeps + e.st.Wakes + e.st.Crashes + e.st.Recoveries
+			if sig != e.stallSig {
+				e.stallSig = sig
+				e.stallBase = e.eventCount
+			} else if e.eventCount-e.stallBase >= e.stallWindow {
+				e.stalled = true
+				e.horizonHit = true
+				break
+			}
+		}
 		e.now = t
 		e.st.ActiveSteps++
 		if e.statsEvery > 0 && t >= e.interval.Start+e.statsEvery {
@@ -180,8 +237,13 @@ func (e *oracle) quiescent() bool {
 		}
 	}
 	for _, bucket := range e.inflight {
-		for _, m := range bucket {
-			if !e.crashed[m.To] {
+		for _, im := range bucket {
+			// Pre-crash residue does not block quiescence: a message sent
+			// before its receiver's last crash was discarded (with its
+			// accounting) at crash time, even if the receiver has since
+			// recovered — it only remains here until its delivery step
+			// formally drops it.
+			if !e.crashed[im.m.To] && im.m.SentAt >= e.lastCrash[im.m.To] {
 				return false
 			}
 		}
@@ -241,13 +303,24 @@ func (e *oracle) deliver(t sim.Step) {
 		return
 	}
 	delete(e.inflight, t)
-	for _, m := range bucket {
+	for _, im := range bucket {
 		e.inFlightCt--
-		if e.crashed[m.To] {
+		m := im.m
+		if e.crashed[m.To] || m.SentAt < e.lastCrash[m.To] {
+			// Crashed receiver, or pre-crash residue reaching a process
+			// that has since recovered: the network discarded it.
 			e.st.DroppedCrashed++
 			continue
 		}
+		if im.corrupt {
+			// Detected at delivery and discarded unread.
+			e.st.CorruptDrops++
+			continue
+		}
 		e.st.Deliveries++
+		if im.dup {
+			e.st.DupDeliveries++
+		}
 		if e.statsEvery > 0 {
 			e.interval.Deliveries++
 		}
@@ -256,6 +329,19 @@ func (e *oracle) deliver(t sim.Step) {
 	if tp := e.totalPending(); tp > e.st.MaxPending {
 		e.st.MaxPending = tp
 	}
+}
+
+// linkBlocked reports whether the directed link from→to is severed, by a
+// partition-class mismatch or an explicit DropLink.
+func (e *oracle) linkBlocked(from, to sim.ProcID) bool {
+	if e.class != nil && e.class[from] != e.class[to] {
+		return true
+	}
+	if len(e.linkDown) == 0 {
+		return false
+	}
+	_, down := e.linkDown[linkKey(from, to)]
+	return down
 }
 
 func (e *oracle) totalPending() int64 {
@@ -317,12 +403,30 @@ func (e *oracle) commitOne(t sim.Step, p sim.ProcID) {
 			}
 			continue
 		}
-		e.inflight[deliverAt] = append(e.inflight[deliverAt], sim.Message{
-			From: p, To: d.To, SentAt: t, DeliverAt: deliverAt, Payload: d.Payload,
-		})
+		if e.linkBlocked(p, d.To) {
+			e.st.DroppedLink++
+			continue
+		}
+		fault := sim.FaultNone
+		if e.faults != nil {
+			fault = e.faults.Roll(p, d.To, t, e.sent[p])
+			if fault == sim.FaultDrop {
+				e.st.DroppedLink++
+				continue
+			}
+		}
+		msg := sim.Message{From: p, To: d.To, SentAt: t, DeliverAt: deliverAt, Payload: d.Payload}
+		e.inflight[deliverAt] = append(e.inflight[deliverAt], omsg{m: msg, corrupt: fault == sim.FaultCorrupt})
 		e.inFlightCt++
 		if e.inFlightCt > e.st.MaxInFlight {
 			e.st.MaxInFlight = e.inFlightCt
+		}
+		if fault == sim.FaultDuplicate {
+			e.inflight[deliverAt] = append(e.inflight[deliverAt], omsg{m: msg, dup: true})
+			e.inFlightCt++
+			if e.inFlightCt > e.st.MaxInFlight {
+				e.st.MaxInFlight = e.inFlightCt
+			}
 		}
 	}
 
@@ -349,7 +453,7 @@ func (e *oracle) commitOne(t sim.Step, p sim.ProcID) {
 
 func (e *oracle) closeInterval(boundary sim.Step) {
 	iv := &e.interval
-	if iv.Sends != 0 || iv.Deliveries != 0 || iv.Sleeps != 0 || iv.Wakes != 0 || iv.Crashes != 0 {
+	if iv.Sends != 0 || iv.Deliveries != 0 || iv.Sleeps != 0 || iv.Wakes != 0 || iv.Crashes != 0 || iv.Recoveries != 0 {
 		iv.End = boundary
 		iv.AwakeCorrect = e.awakeCount()
 		iv.InFlight = e.inFlightCt
@@ -391,6 +495,7 @@ func (e *oracle) outcome() sim.Outcome {
 		Messages:   e.msgTotal,
 		Crashed:    e.crashCount,
 		HorizonHit: e.horizonHit,
+		Stalled:    e.stalled,
 	}
 	if e.cfg.Adversary != nil {
 		o.Adversary = e.cfg.Adversary.Name()
@@ -480,19 +585,52 @@ func (e *oracle) Delay(p sim.ProcID) sim.Step { return e.delay[p] }
 // CrashCount implements sim.System.
 func (e *oracle) CrashCount() int { return e.crashCount }
 
-// Crash implements sim.System.
+// CrashesEver implements sim.System.
+func (e *oracle) CrashesEver() int { return e.crashesEver }
+
+// Crash implements sim.System. The budget check runs against cumulative
+// crash events, matching the engine: recoveries do not refund it.
 func (e *oracle) Crash(p sim.ProcID) bool {
-	if p < 0 || int(p) >= e.n || e.crashed[p] || e.crashCount >= e.cfg.F {
+	if p < 0 || int(p) >= e.n || e.crashed[p] || e.crashesEver >= e.cfg.F {
 		return false
 	}
 	e.crashed[p] = true
 	e.crashCount++
+	e.crashesEver++
+	e.lastCrash[p] = e.now
 	e.st.Crashes++
 	if e.statsEvery > 0 {
 		e.interval.Crashes++
 	}
 	e.awake[p] = false
 	e.pending[p] = nil
+	return true
+}
+
+// Recover implements sim.System: revive a crashed process at the current
+// step, re-anchoring its local-step schedule. Messages sent to p before
+// the crash stay lost (the lastCrash residue rule in deliver/quiescent);
+// whether p resumes awake is the protocol's call, exactly as in the
+// engine.
+func (e *oracle) Recover(p sim.ProcID, amnesia bool) bool {
+	if p < 0 || int(p) >= e.n || !e.crashed[p] {
+		return false
+	}
+	e.crashed[p] = false
+	e.crashCount--
+	e.st.Recoveries++
+	if e.statsEvery > 0 {
+		e.interval.Recoveries++
+	}
+	e.anchor[p] = e.now
+	if amnesia {
+		if f, ok := e.procs[p].(sim.Forgetter); ok {
+			f.Forget()
+		}
+	}
+	if !e.procs[p].Asleep() {
+		e.awake[p] = true
+	}
 	return true
 }
 
@@ -528,4 +666,41 @@ func (e *oracle) SetOmitFrom(p sim.ProcID, omit bool) {
 	}
 	e.st.OmitRewrites++
 	e.omitted[p] = omit
+}
+
+// SetClass implements sim.System: partition-class assignment, lazily
+// allocated like the engine's.
+func (e *oracle) SetClass(p sim.ProcID, c int) {
+	if p < 0 || int(p) >= e.n {
+		panic("oracle: SetClass on process out of range")
+	}
+	if c < 0 {
+		panic("oracle: SetClass with negative class")
+	}
+	if e.class == nil {
+		e.class = make([]int32, e.n)
+	}
+	e.st.LinkRewrites++
+	e.class[p] = int32(c)
+}
+
+// DropLink implements sim.System.
+func (e *oracle) DropLink(from, to sim.ProcID) {
+	if from < 0 || int(from) >= e.n || to < 0 || int(to) >= e.n {
+		panic("oracle: DropLink on process out of range")
+	}
+	if e.linkDown == nil {
+		e.linkDown = make(map[int64]struct{})
+	}
+	e.st.LinkRewrites++
+	e.linkDown[linkKey(from, to)] = struct{}{}
+}
+
+// HealLink implements sim.System.
+func (e *oracle) HealLink(from, to sim.ProcID) {
+	if from < 0 || int(from) >= e.n || to < 0 || int(to) >= e.n {
+		panic("oracle: HealLink on process out of range")
+	}
+	e.st.LinkRewrites++
+	delete(e.linkDown, linkKey(from, to))
 }

@@ -33,7 +33,9 @@ type Outcome struct {
 	DeltaMax Step
 	DelayMax Step
 
-	// Crashed is the number of processes the adversary crashed (≤ F).
+	// Crashed is the number of processes still crashed at the end of the
+	// run. Without recoveries it equals the number the adversary crashed
+	// (≤ F); Stats.Crashes and Stats.Recoveries count the events.
 	Crashed int
 	// Gathered reports rumor gathering (Def. II.1): every correct process
 	// ended up knowing the gossip of every correct process.
@@ -42,6 +44,16 @@ type Outcome struct {
 	// Config.MaxEvents instead of reaching quiescence. Outcomes with
 	// HorizonHit set must not be fed into complexity statistics.
 	HorizonHit bool
+	// Stalled is true when stall detection (Config.StallWindow) stopped
+	// the run: the system processed a full event window with no delivery
+	// and no lifecycle transition, so it can make no further progress —
+	// the deterministic termination of a fully-partitioned or fully-lossy
+	// run. A stalled outcome is a classified non-failure, not a cutoff
+	// artifact, but it is still not a complete execution; Stalled implies
+	// HorizonHit, which keeps stalled runs out of complexity statistics.
+	// The field is omitempty so stall-free outcomes keep their JSON
+	// encoding bit for bit.
+	Stalled bool `json:",omitempty"`
 	// Cancelled is true when the run was stopped by Config.Cancel or the
 	// Config.MaxWall watchdog. The outcome is a valid partial execution
 	// prefix, but — unlike a Horizon/MaxEvents cutoff — the stopping point

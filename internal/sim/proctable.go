@@ -19,6 +19,13 @@ type procTable struct {
 	delay    []Step // d_p, stamped on sends
 	anchor   []Step // local-step phase anchor: boundaries at anchor + k·δ, k ≥ 1
 	lastSend []Step
+	// lastCrash is the step of p's most recent crash (0 when never
+	// crashed; sends happen at steps ≥ 1, so 0 never matches). It cuts off
+	// pre-crash residue after a recovery: a message sent before p's last
+	// crash had its in-flight accounting zeroed by crashProcess, so the
+	// delivery path must drop it — not hand it to the recovered process —
+	// or the inflightTo/inflightToCorrect counters would go negative.
+	lastCrash []Step
 
 	sent         []int64
 	pendingCount []int64
@@ -61,11 +68,12 @@ const (
 
 func (pt *procTable) init(n int) {
 	pt.flags = make([]uint8, n)
-	steps := make([]Step, 4*n)
+	steps := make([]Step, 5*n)
 	pt.delta, steps = steps[:n:n], steps[n:]
 	pt.delay, steps = steps[:n:n], steps[n:]
 	pt.anchor, steps = steps[:n:n], steps[n:]
-	pt.lastSend = steps
+	pt.lastSend, steps = steps[:n:n], steps[n:]
+	pt.lastCrash = steps
 	counts := make([]int64, 3*n)
 	pt.sent, counts = counts[:n:n], counts[n:]
 	pt.pendingCount, counts = counts[:n:n], counts[n:]
@@ -85,7 +93,8 @@ func (pt *procTable) setAwake(p ProcID, v bool) {
 	}
 }
 
-func (pt *procTable) setCrashed(p ProcID) { pt.flags[p] |= flagCrashed }
+func (pt *procTable) setCrashed(p ProcID)   { pt.flags[p] |= flagCrashed }
+func (pt *procTable) clearCrashed(p ProcID) { pt.flags[p] &^= flagCrashed }
 
 func (pt *procTable) setOmitted(p ProcID, v bool) {
 	if v {

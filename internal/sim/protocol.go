@@ -52,6 +52,18 @@ type Committer interface {
 	Commit(now Step)
 }
 
+// Forgetter is an optional Process extension for protocols whose
+// processes can lose their volatile state. When the adversary recovers a
+// crashed process with amnesia (Control.Recover with amnesia true) the
+// engine calls Forget once, before the process takes any further local
+// step: the process must reset to its initial knowledge — its own gossip
+// only — as if freshly constructed, keeping its Env (identity, RNG
+// position) as is. Processes that do not implement Forgetter recover with
+// their pre-crash state retained (stable storage).
+type Forgetter interface {
+	Forget()
+}
+
 // Process is one process's protocol state machine, driven by the engine.
 //
 // Implementations are confined: during Step they may touch only their own

@@ -80,6 +80,7 @@ type shardLane struct {
 	sends         int64
 	dropped       int64
 	omitted       int64
+	droppedLink   int64
 	pendingDelta  int64
 	inflightDelta int64
 	intSends      int64
@@ -240,11 +241,37 @@ func (e *engine) prepareOne(t Step, p ProcID, ln *shardLane, table int64) {
 			}
 			continue
 		}
-		ln.pushMsg(deliverAt, imessage{from: int32(p), to: d.to, ref: table<<32 | int64(res[d.pi]), sentAt: t})
+		if e.linkActive && e.linkBlocked(p, to) {
+			ln.droppedLink++
+			continue
+		}
+		fault := FaultNone
+		if e.faults != nil {
+			// Roll is a pure hash of the same inputs the serial loop
+			// feeds it — sent[p] is p-local, so the lane's post-increment
+			// value matches serial execution exactly.
+			fault = e.faults.Roll(p, to, t, e.pt.sent[p])
+			if fault == FaultDrop {
+				ln.droppedLink++
+				continue
+			}
+		}
+		ref := table<<32 | int64(res[d.pi])
+		if fault == FaultCorrupt {
+			ref |= refCorruptBit
+		}
+		ln.pushMsg(deliverAt, imessage{from: int32(p), to: d.to, ref: ref, sentAt: t})
 		cnt[d.pi]++
 		// The one cross-shard write: any process can be the recipient.
 		atomic.AddInt64(&e.pt.inflightTo[to], 1)
 		ln.inflightDelta++
+		if fault == FaultDuplicate {
+			ln.pushMsg(deliverAt, imessage{from: int32(p), to: d.to,
+				ref: table<<32 | int64(res[d.pi]) | refDupBit, sentAt: t})
+			cnt[d.pi]++
+			atomic.AddInt64(&e.pt.inflightTo[to], 1)
+			ln.inflightDelta++
+		}
 	}
 	for i, slot := range res {
 		if cnt[i] > 0 {
@@ -270,6 +297,7 @@ func (e *engine) mergeLanes(t Step, due []ProcID, shards int) {
 		e.msgTotal += ln.sends
 		e.st.DroppedCrashed += ln.dropped
 		e.st.OmittedSends += ln.omitted
+		e.st.DroppedLink += ln.droppedLink
 		e.totalPending -= ln.pendingDelta
 		e.inflight += ln.inflightDelta
 		e.inflightToCorrect += ln.inflightDelta
@@ -302,7 +330,7 @@ func (e *engine) mergeLanes(t Step, due []ProcID, shards int) {
 		ln.msgs = ln.msgs[:0]
 		ln.runs = ln.runs[:0]
 		ln.localSteps, ln.events, ln.sends = 0, 0, 0
-		ln.dropped, ln.omitted = 0, 0
+		ln.dropped, ln.omitted, ln.droppedLink = 0, 0, 0
 		ln.pendingDelta, ln.inflightDelta, ln.intSends = 0, 0, 0
 	}
 	// In-flight only grows during a commit phase, so the folded end value

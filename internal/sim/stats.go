@@ -40,6 +40,20 @@ type Stats struct {
 	// OmittedSends counts sends suppressed by an omission adversary
 	// (Control.SetOmitFrom); they count in Sends but are never delivered.
 	OmittedSends int64
+	// DroppedLink counts sends lost in the network: blocked by a downed
+	// link or a partition class boundary, or dropped by the fault plan's
+	// loss roll. Like omitted sends they count in Sends but never arrive.
+	// The fault-model counters are omitempty so fault-free outcomes keep
+	// their existing JSON encoding bit for bit (the golden matrices hash
+	// it).
+	DroppedLink int64 `json:",omitempty"`
+	// DupDeliveries counts the extra copies delivered by the fault plan's
+	// duplication roll. Each is also counted in Deliveries.
+	DupDeliveries int64 `json:",omitempty"`
+	// CorruptDrops counts messages corrupted in transit and discarded by
+	// the receiver at delivery (detected loss; protocols never observe a
+	// corrupted payload).
+	CorruptDrops int64 `json:",omitempty"`
 
 	// HeapPushes and HeapPops count operations on the scheduler's
 	// event-time heap — the engine's scheduling work, independent of
@@ -58,11 +72,17 @@ type Stats struct {
 	Sleeps int64
 	Wakes  int64
 
-	// Adversary interventions by type. Crashes == Outcome.Crashed.
+	// Adversary interventions by type. Crashes counts crash events, which
+	// with recoveries can exceed Outcome.Crashed (the processes still down
+	// at the end); without recoveries the two are equal. Recoveries counts
+	// Control.Recover events and LinkRewrites the link-state interventions
+	// (SetClass, DropLink, HealLink).
 	Crashes       int64
+	Recoveries    int64 `json:",omitempty"`
 	DeltaRewrites int64
 	DelayRewrites int64
 	OmitRewrites  int64
+	LinkRewrites  int64 `json:",omitempty"`
 
 	// MessagesByKind breaks Sends down by Payload.Kind(), sorted by kind.
 	MessagesByKind []KindCount
@@ -135,13 +155,15 @@ const delayHistBuckets = 48
 type IntervalStats struct {
 	// Start and End delimit the window: Start ≤ t < End.
 	Start, End Step
-	// Sends, Deliveries, Sleeps, Wakes and Crashes count the window's
-	// events, same meanings as the run-wide counters.
+	// Sends, Deliveries, Sleeps, Wakes, Crashes and Recoveries count the
+	// window's events, same meanings as the run-wide counters. Recoveries
+	// is omitempty so recovery-free series keep their JSON encoding.
 	Sends      int64
 	Deliveries int64
 	Sleeps     int64
 	Wakes      int64
 	Crashes    int64
+	Recoveries int64 `json:",omitempty"`
 	// AwakeCorrect and InFlight are the system state when the window
 	// closed.
 	AwakeCorrect int
@@ -166,7 +188,7 @@ func delayBucket(d Step) int {
 // active reports whether the window counted anything.
 func (iv *IntervalStats) active() bool {
 	return iv.Sends != 0 || iv.Deliveries != 0 || iv.Sleeps != 0 ||
-		iv.Wakes != 0 || iv.Crashes != 0
+		iv.Wakes != 0 || iv.Crashes != 0 || iv.Recoveries != 0
 }
 
 // Merge folds other into s: counters add, high-water marks take the
@@ -181,6 +203,9 @@ func (s *Stats) Merge(other *Stats) {
 	s.Deliveries += other.Deliveries
 	s.DroppedCrashed += other.DroppedCrashed
 	s.OmittedSends += other.OmittedSends
+	s.DroppedLink += other.DroppedLink
+	s.DupDeliveries += other.DupDeliveries
+	s.CorruptDrops += other.CorruptDrops
 	s.HeapPushes += other.HeapPushes
 	s.HeapPops += other.HeapPops
 	if other.MaxInFlight > s.MaxInFlight {
@@ -192,9 +217,11 @@ func (s *Stats) Merge(other *Stats) {
 	s.Sleeps += other.Sleeps
 	s.Wakes += other.Wakes
 	s.Crashes += other.Crashes
+	s.Recoveries += other.Recoveries
 	s.DeltaRewrites += other.DeltaRewrites
 	s.DelayRewrites += other.DelayRewrites
 	s.OmitRewrites += other.OmitRewrites
+	s.LinkRewrites += other.LinkRewrites
 	for _, kc := range other.MessagesByKind {
 		found := false
 		for i := range s.MessagesByKind {

@@ -34,13 +34,52 @@ func (e *engine) Delay(p ProcID) Step { return e.pt.delay[p] }
 // CrashCount implements System.
 func (e *engine) CrashCount() int { return e.crashCount }
 
+// CrashesEver implements System.
+func (e *engine) CrashesEver() int { return e.crashesEver }
+
 // Crash implements System: it enforces the range, already-crashed and
-// budget guards, then fails the process immediately.
+// budget guards, then fails the process immediately. The budget is
+// enforced against cumulative crash events, so recoveries do not refund
+// it.
 func (e *engine) Crash(p ProcID) bool {
-	if p < 0 || int(p) >= e.n || e.pt.crashed(p) || e.crashCount >= e.cfg.F {
+	if p < 0 || int(p) >= e.n || e.pt.crashed(p) || e.crashesEver >= e.cfg.F {
 		return false
 	}
 	e.crashProcess(p)
+	return true
+}
+
+// Recover implements System: it revives a crashed process at the current
+// step. The process re-anchors its local-step schedule at now (first
+// boundary now + δ_p); whether it resumes awake is the protocol's call —
+// a process that had fallen asleep before crashing stays dormant until
+// mail arrives. With amnesia, a Forgetter protocol resets the process to
+// its initial knowledge first.
+func (e *engine) Recover(p ProcID, amnesia bool) bool {
+	if p < 0 || int(p) >= e.n || !e.pt.crashed(p) {
+		return false
+	}
+	e.pt.clearCrashed(p)
+	e.crashCount--
+	e.everRecovered = true
+	e.st.Recoveries++
+	if e.statsEvery > 0 {
+		e.interval.Recoveries++
+	}
+	e.pt.anchor[p] = e.now
+	note := "retain"
+	if amnesia {
+		note = "amnesia"
+		if f, ok := e.procs[p].(Forgetter); ok {
+			f.Forget()
+		}
+	}
+	if !e.procs[p].Asleep() {
+		e.pt.setAwake(p, true)
+		e.awakeCorrect++
+		e.sched.scheduleProc(p, e.now+e.pt.delta[p])
+	}
+	e.trace(TraceEvent{Kind: TraceRecover, Step: e.now, Proc: p, Other: -1, Note: note})
 	return true
 }
 
@@ -87,4 +126,48 @@ func (e *engine) SetOmitFrom(p ProcID, omit bool) {
 	e.st.OmitRewrites++
 	e.pt.setOmitted(p, omit)
 	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "omit"})
+}
+
+// SetClass implements System: partition-class assignment. The class
+// array allocates lazily on first use, and the linkActive gate stays set
+// for the rest of the run — healing a partition restores traffic, not
+// the fault-free fast path.
+func (e *engine) SetClass(p ProcID, c int) {
+	if p < 0 || int(p) >= e.n {
+		panic("sim: SetClass on process out of range")
+	}
+	if c < 0 {
+		panic("sim: SetClass with negative class")
+	}
+	if e.class == nil {
+		e.class = make([]int32, e.n)
+	}
+	e.st.LinkRewrites++
+	e.class[p] = int32(c)
+	e.linkActive = true
+	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: p, Note: "class"})
+}
+
+// DropLink implements System.
+func (e *engine) DropLink(from, to ProcID) {
+	if from < 0 || int(from) >= e.n || to < 0 || int(to) >= e.n {
+		panic("sim: DropLink on process out of range")
+	}
+	if e.linkDown == nil {
+		e.linkDown = make(map[int64]struct{})
+	}
+	e.st.LinkRewrites++
+	e.linkDown[linkKey(from, to)] = struct{}{}
+	e.linkActive = true
+	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: from, Note: "droplink"})
+}
+
+// HealLink implements System.
+func (e *engine) HealLink(from, to ProcID) {
+	if from < 0 || int(from) >= e.n || to < 0 || int(to) >= e.n {
+		panic("sim: HealLink on process out of range")
+	}
+	e.st.LinkRewrites++
+	delete(e.linkDown, linkKey(from, to))
+	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: from, Note: "heallink"})
 }

@@ -14,7 +14,9 @@ const (
 	TraceSleep                      // Proc fell asleep
 	TraceWake                       // Proc resumed after sleeping
 	TraceAdversary                  // the adversary rewrote Proc's delta/delay (Note says which)
-	TraceEnd                        // the run ended (Note: "quiescence" or "horizon")
+	TraceEnd                        // the run ended (Note: "quiescence", "stalled", "horizon" or "cancelled")
+	TraceRecover                    // the adversary recovered crashed Proc (Note: "retain" or "amnesia")
+	TraceDrop                       // a message from Other to Proc was dropped (Note says why)
 
 	// traceKindCount is the number of trace kinds; keep it last.
 	traceKindCount
@@ -32,6 +34,8 @@ var traceKindNames = [...]string{
 	TraceWake:      "wake",
 	TraceAdversary: "adversary",
 	TraceEnd:       "end",
+	TraceRecover:   "recover",
+	TraceDrop:      "drop",
 }
 
 func (k TraceKind) String() string {
@@ -42,8 +46,8 @@ func (k TraceKind) String() string {
 }
 
 // ParseTraceKind resolves a kind name ("send", "arrive", "step", "crash",
-// "sleep", "wake", "adversary", "end") to its TraceKind. It is the inverse
-// of TraceKind.String, for CLI filter flags.
+// "sleep", "wake", "adversary", "end", "recover", "drop") to its
+// TraceKind. It is the inverse of TraceKind.String, for CLI filter flags.
 func ParseTraceKind(name string) (TraceKind, bool) {
 	for k, n := range traceKindNames {
 		if n == name {
@@ -54,18 +58,22 @@ func ParseTraceKind(name string) (TraceKind, bool) {
 }
 
 // IsMessage reports whether the kind describes message traffic
-// (TraceSend, TraceArrive).
-func (k TraceKind) IsMessage() bool { return k == TraceSend || k == TraceArrive }
+// (TraceSend, TraceArrive, TraceDrop).
+func (k TraceKind) IsMessage() bool {
+	return k == TraceSend || k == TraceArrive || k == TraceDrop
+}
 
 // IsLifecycle reports whether the kind describes a process lifecycle
-// transition (TraceSleep, TraceWake, TraceCrash).
+// transition (TraceSleep, TraceWake, TraceCrash, TraceRecover).
 func (k TraceKind) IsLifecycle() bool {
-	return k == TraceSleep || k == TraceWake || k == TraceCrash
+	return k == TraceSleep || k == TraceWake || k == TraceCrash || k == TraceRecover
 }
 
 // IsAdversarial reports whether the kind is an adversary intervention
-// (TraceCrash, TraceAdversary).
-func (k TraceKind) IsAdversarial() bool { return k == TraceCrash || k == TraceAdversary }
+// (TraceCrash, TraceRecover, TraceAdversary).
+func (k TraceKind) IsAdversarial() bool {
+	return k == TraceCrash || k == TraceRecover || k == TraceAdversary
+}
 
 // KindMask is a bit set of TraceKinds, used by trace filters.
 type KindMask uint16
@@ -116,13 +124,13 @@ type TraceEvent struct {
 
 func (ev TraceEvent) String() string {
 	switch ev.Kind {
-	case TraceSend, TraceArrive:
+	case TraceSend, TraceArrive, TraceDrop:
 		kind := "?"
 		if ev.Payload != nil {
 			kind = ev.Payload.Kind()
 		}
 		return fmt.Sprintf("t=%d %s %d<->%d %s", ev.Step, ev.Kind, ev.Proc, ev.Other, kind)
-	case TraceAdversary, TraceEnd:
+	case TraceAdversary, TraceEnd, TraceRecover:
 		return fmt.Sprintf("t=%d %s p=%d %s", ev.Step, ev.Kind, ev.Proc, ev.Note)
 	default:
 		return fmt.Sprintf("t=%d %s p=%d", ev.Step, ev.Kind, ev.Proc)

@@ -8,19 +8,31 @@
 //   - every arrival is backed by a prior unconsumed send between the same
 //     (from, to) pair, and within one global step all arrivals precede all
 //     sends (the engine delivers before it runs local steps)
+//   - every drop likewise consumes a prior send on its link — a dropped
+//     message is gone: no later arrival can match the same send — except
+//     the drop of a duplicated delivery's extra copy (note "dup"), which
+//     like a duplicate arrival only needs evidence the link ever carried a
+//     send
 //   - crashed processes are silent: after a crash event, the victim takes
 //     no local steps, sends nothing, never sleeps or wakes, and receives
 //     nothing (messages it sent earlier may still arrive at others;
-//     adversary rewrites may still name it)
+//     adversary rewrites may still name it); after a recovery event the
+//     process is alive again and may do all of those, including crash
+//     anew
+//   - recoveries only revive crashed processes
 //   - the end marker appears exactly once, last
 //
 // Finish then reconciles the stream with the run's Outcome: per-kind
-// event counts must equal the Stats counters, and the sends never matched
-// by an arrival must account exactly for Sends − Deliveries.
+// event counts must equal the Stats counters (drops against the four drop
+// counters, recoveries against Stats.Recoveries, duplicate arrivals
+// against Stats.DupDeliveries), and the sends never matched by an arrival
+// or a drop must account exactly for the sends still in flight when the
+// run ended.
 package check
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/ugf-sim/ugf/internal/sim"
 )
@@ -43,6 +55,9 @@ type Sink struct {
 	endStep     sim.Step
 	crashed     map[sim.ProcID]sim.Step
 	outstanding map[pair]int64
+	everSent    map[pair]int64 // all sends ever, never consumed: dup evidence
+	dupArrivals int64
+	dupDrops    int64
 	sendsAt     sim.Step // last step with a send: arrivals at it violate phase order
 	haveSend    bool
 	counts      [sim.NumTraceKinds]int64
@@ -53,6 +68,7 @@ func New() *Sink {
 	return &Sink{
 		crashed:     make(map[sim.ProcID]sim.Step),
 		outstanding: make(map[pair]int64),
+		everSent:    make(map[pair]int64),
 	}
 }
 
@@ -87,6 +103,7 @@ func (s *Sink) Event(ev sim.TraceEvent) {
 			s.violate("t=%d: crashed process %d (crashed at t=%d) sent to %d", ev.Step, ev.Proc, at, ev.Other)
 		}
 		s.outstanding[pair{ev.Proc, ev.Other}]++
+		s.everSent[pair{ev.Proc, ev.Other}]++
 		s.sendsAt, s.haveSend = ev.Step, true
 	case sim.TraceArrive:
 		if at, dead := s.crashed[ev.Proc]; dead {
@@ -96,10 +113,41 @@ func (s *Sink) Event(ev sim.TraceEvent) {
 			s.violate("t=%d: arrival at %d after a send in the same step (deliveries must precede local steps)", ev.Step, ev.Proc)
 		}
 		p := pair{ev.Other, ev.Proc}
-		if s.outstanding[p] <= 0 {
+		if ev.Note == "dup" {
+			// The extra copy of a duplicated delivery: its send was already
+			// consumed by the original copy, so it only needs evidence the
+			// link ever carried a send.
+			s.dupArrivals++
+			if s.everSent[p] == 0 {
+				s.violate("t=%d: duplicate arrival at %d from %d on a link that never sent", ev.Step, ev.Proc, ev.Other)
+			}
+		} else if s.outstanding[p] <= 0 {
 			s.violate("t=%d: arrival at %d from %d without a prior matching send", ev.Step, ev.Proc, ev.Other)
 		} else {
 			s.outstanding[p]--
+		}
+	case sim.TraceDrop:
+		// A drop disposes of a send as finally as an arrival does: once
+		// dropped, no later arrival may match the same send.
+		if ev.Note == "" {
+			s.violate("t=%d: drop at %d without a reason note", ev.Step, ev.Proc)
+		}
+		p := pair{ev.Other, ev.Proc}
+		if strings.Contains(ev.Note, "dup") {
+			s.dupDrops++
+			if s.everSent[p] == 0 {
+				s.violate("t=%d: duplicate drop at %d from %d on a link that never sent", ev.Step, ev.Proc, ev.Other)
+			}
+		} else if s.outstanding[p] <= 0 {
+			s.violate("t=%d: drop at %d from %d without a prior matching send", ev.Step, ev.Proc, ev.Other)
+		} else {
+			s.outstanding[p]--
+		}
+	case sim.TraceRecover:
+		if _, dead := s.crashed[ev.Proc]; !dead {
+			s.violate("t=%d: recovery of process %d, which is not crashed", ev.Step, ev.Proc)
+		} else {
+			delete(s.crashed, ev.Proc)
 		}
 	case sim.TraceLocalStep, sim.TraceSleep, sim.TraceWake:
 		if at, dead := s.crashed[ev.Proc]; dead {
@@ -166,21 +214,31 @@ func (s *Sink) Finish(o sim.Outcome) []string {
 		{sim.TraceSleep, o.Stats.Sleeps, "Stats.Sleeps"},
 		{sim.TraceWake, o.Stats.Wakes, "Stats.Wakes"},
 		{sim.TraceCrash, o.Stats.Crashes, "Stats.Crashes"},
-		{sim.TraceAdversary, o.Stats.DeltaRewrites + o.Stats.DelayRewrites + o.Stats.OmitRewrites, "rewrite counters"},
+		{sim.TraceRecover, o.Stats.Recoveries, "Stats.Recoveries"},
+		{sim.TraceDrop, o.Stats.DroppedCrashed + o.Stats.OmittedSends + o.Stats.DroppedLink + o.Stats.CorruptDrops, "drop counters"},
+		{sim.TraceAdversary, o.Stats.DeltaRewrites + o.Stats.DelayRewrites + o.Stats.OmitRewrites + o.Stats.LinkRewrites, "rewrite counters"},
 	} {
 		if got := s.Count(pc.kind); got != pc.want {
 			add("%d %s events, %s=%d", got, pc.kind, pc.name, pc.want)
 		}
 	}
+	if s.dupArrivals != o.Stats.DupDeliveries {
+		add("%d duplicate arrivals in trace, Stats.DupDeliveries=%d", s.dupArrivals, o.Stats.DupDeliveries)
+	}
 	var undelivered int64
 	for _, c := range s.outstanding {
 		undelivered += c
 	}
-	if want := o.Stats.Sends - o.Stats.Deliveries; undelivered != want {
-		add("%d sends never arrived, Sends-Deliveries=%d", undelivered, want)
+	// Every send ends as exactly one non-dup arrival, one non-dup drop, or
+	// stays in flight when the run ends (pre-crash residue whose delivery
+	// step the run never reached, or a cutoff). Dup copies are network
+	// artifacts on top of a send that is accounted by its original copy.
+	want := o.Stats.Sends - (o.Stats.Deliveries - o.Stats.DupDeliveries) - (s.Count(sim.TraceDrop) - s.dupDrops)
+	if undelivered != want {
+		add("%d sends never arrived nor dropped, expected %d from Sends-arrivals-drops", undelivered, want)
 	}
 	if got := int64(len(s.crashed)); got != int64(o.Crashed) {
-		add("%d distinct crashed processes in trace, Outcome.Crashed=%d", got, o.Crashed)
+		add("%d processes crashed at stream end, Outcome.Crashed=%d", got, o.Crashed)
 	}
 	return v
 }

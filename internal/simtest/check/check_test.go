@@ -107,6 +107,51 @@ func TestSinkCatches(t *testing.T) {
 			},
 			want: "without a reason note",
 		},
+		{
+			name: "dropped send arrives anyway",
+			run: func(s *check.Sink) {
+				s.Event(sim.TraceEvent{Kind: sim.TraceSend, Step: 1, Proc: 0, Other: 1})
+				s.Event(sim.TraceEvent{Kind: sim.TraceDrop, Step: 1, Proc: 1, Other: 0, Note: "loss"})
+				s.Event(sim.TraceEvent{Kind: sim.TraceArrive, Step: 2, Proc: 1, Other: 0})
+			},
+			want: "without a prior matching send",
+		},
+		{
+			name: "drop without send",
+			run: func(s *check.Sink) {
+				s.Event(sim.TraceEvent{Kind: sim.TraceDrop, Step: 1, Proc: 1, Other: 0, Note: "link"})
+			},
+			want: "drop at 1 from 0 without a prior matching send",
+		},
+		{
+			name: "drop without note",
+			run: func(s *check.Sink) {
+				s.Event(sim.TraceEvent{Kind: sim.TraceSend, Step: 1, Proc: 0, Other: 1})
+				s.Event(sim.TraceEvent{Kind: sim.TraceDrop, Step: 1, Proc: 1, Other: 0})
+			},
+			want: "drop at 1 without a reason note",
+		},
+		{
+			name: "duplicate arrival on a silent link",
+			run: func(s *check.Sink) {
+				s.Event(sim.TraceEvent{Kind: sim.TraceArrive, Step: 2, Proc: 1, Other: 0, Note: "dup"})
+			},
+			want: "duplicate arrival at 1 from 0 on a link that never sent",
+		},
+		{
+			name: "duplicate drop on a silent link",
+			run: func(s *check.Sink) {
+				s.Event(sim.TraceEvent{Kind: sim.TraceDrop, Step: 2, Proc: 1, Other: 0, Note: "crashed dup"})
+			},
+			want: "duplicate drop at 1 from 0 on a link that never sent",
+		},
+		{
+			name: "recovery of a process that never crashed",
+			run: func(s *check.Sink) {
+				s.Event(sim.TraceEvent{Kind: sim.TraceRecover, Step: 1, Proc: 0, Other: -1, Note: "retain"})
+			},
+			want: "recovery of process 0, which is not crashed",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -157,6 +202,68 @@ func TestFinishReconciliation(t *testing.T) {
 	wrongEnd.Quiescence = 99
 	if vs := s.Finish(wrongEnd); len(vs) == 0 {
 		t.Error("end marker at t=2 accepted against Quiescence=99")
+	}
+}
+
+// TestRecoveryLifecycle drives a legal crash → recover → send → crash
+// stream and asserts it is accepted: recovery revives the process for
+// every purpose, including crashing it again.
+func TestRecoveryLifecycle(t *testing.T) {
+	s := check.New()
+	s.Event(sim.TraceEvent{Kind: sim.TraceCrash, Step: 1, Proc: 0, Other: -1})
+	s.Event(sim.TraceEvent{Kind: sim.TraceRecover, Step: 2, Proc: 0, Other: -1, Note: "amnesia"})
+	s.Event(sim.TraceEvent{Kind: sim.TraceSend, Step: 3, Proc: 0, Other: 1})
+	s.Event(sim.TraceEvent{Kind: sim.TraceArrive, Step: 4, Proc: 1, Other: 0})
+	s.Event(sim.TraceEvent{Kind: sim.TraceCrash, Step: 5, Proc: 0, Other: -1})
+	if vs := s.Violations(); len(vs) != 0 {
+		t.Errorf("legal crash/recover/crash stream rejected: %q", vs)
+	}
+
+	o := sim.Outcome{Quiescence: 6, Crashed: 1}
+	o.Stats.Sends, o.Stats.Deliveries = 1, 1
+	o.Stats.Crashes, o.Stats.Recoveries = 2, 1
+	s.Event(sim.TraceEvent{Kind: sim.TraceEnd, Step: 6, Proc: -1, Other: -1, Note: "quiescence"})
+	if vs := s.Finish(o); len(vs) != 0 {
+		t.Errorf("matching recovery outcome rejected: %q", vs)
+	}
+	bad := o
+	bad.Stats.Recoveries = 0
+	if vs := s.Finish(bad); len(vs) == 0 {
+		t.Error("stream with 1 recovery accepted against Stats.Recoveries=0")
+	}
+}
+
+// TestFaultReconciliation pins the drop and duplicate arms of Finish: a
+// stream with one traced drop and one duplicated delivery must reconcile
+// only against counters that account for both.
+func TestFaultReconciliation(t *testing.T) {
+	s := check.New()
+	s.Event(sim.TraceEvent{Kind: sim.TraceSend, Step: 1, Proc: 0, Other: 1})
+	s.Event(sim.TraceEvent{Kind: sim.TraceSend, Step: 1, Proc: 0, Other: 2})
+	s.Event(sim.TraceEvent{Kind: sim.TraceDrop, Step: 1, Proc: 2, Other: 0, Note: "loss"})
+	s.Event(sim.TraceEvent{Kind: sim.TraceArrive, Step: 2, Proc: 1, Other: 0})
+	s.Event(sim.TraceEvent{Kind: sim.TraceArrive, Step: 2, Proc: 1, Other: 0, Note: "dup"})
+	s.Event(sim.TraceEvent{Kind: sim.TraceEnd, Step: 2, Proc: -1, Other: -1, Note: "quiescence"})
+	if vs := s.Violations(); len(vs) != 0 {
+		t.Fatalf("legal lossy/dup stream rejected: %q", vs)
+	}
+
+	o := sim.Outcome{Quiescence: 2}
+	o.Stats.Sends, o.Stats.Deliveries = 2, 2
+	o.Stats.DroppedLink, o.Stats.DupDeliveries = 1, 1
+	if vs := s.Finish(o); len(vs) != 0 {
+		t.Errorf("matching fault outcome rejected: %q", vs)
+	}
+
+	noDrop := o
+	noDrop.Stats.DroppedLink = 0
+	if vs := s.Finish(noDrop); len(vs) == 0 {
+		t.Error("stream with a traced drop accepted against zero drop counters")
+	}
+	noDup := o
+	noDup.Stats.DupDeliveries = 0
+	if vs := s.Finish(noDup); len(vs) == 0 {
+		t.Error("stream with a duplicate arrival accepted against Stats.DupDeliveries=0")
 	}
 }
 

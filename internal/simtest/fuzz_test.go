@@ -3,6 +3,7 @@ package simtest
 import (
 	"testing"
 
+	"github.com/ugf-sim/ugf/internal/gossip"
 	"github.com/ugf-sim/ugf/internal/sim"
 	"github.com/ugf-sim/ugf/internal/sim/oracle"
 )
@@ -20,6 +21,12 @@ func FuzzEngineVsOracle(f *testing.F) {
 	}
 	f.Add(uint64(0))
 	f.Add(^uint64(0))
+	// Seeds whose generated configs carry an active FaultPlan (and the
+	// stall window Gen pairs with it), so the fault pipeline is in the
+	// corpus from the start rather than waiting on coverage guidance.
+	for _, s := range []uint64{0x516f1002, 0x516f1008, 0x516f100a, 0x516f100b, 0x516f1013, 0x516f1016} {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, genSeed uint64) {
 		c := Gen(genSeed)
 		got, err := sim.Run(c.Cfg)
@@ -32,6 +39,73 @@ func FuzzEngineVsOracle(f *testing.F) {
 		}
 		if diffs := DiffOutcomes(got, want); len(diffs) != 0 {
 			t.Errorf("%s: engine and oracle diverge:", c.Name)
+			for _, d := range diffs {
+				t.Errorf("  %s", d)
+			}
+		}
+	})
+}
+
+// FuzzFaultPlan attacks the fault-plan surface from the string side:
+// arbitrary specs through ParseFaultPlan, with every accepted plan held
+// to two contracts — the String round-trip reproduces the plan exactly,
+// and a small run under the plan is bit-identical between the production
+// engine and the oracle (serial and sharded). Malformed specs must be
+// rejected with an error, never a panic.
+func FuzzFaultPlan(f *testing.F) {
+	for _, spec := range []string{
+		"",
+		"drop=0.1",
+		"dup=1",
+		"drop=0.1,dup=0.05,corrupt=0.01,seed=7",
+		"corrupt=0.3,seed=0xdeadbeef",
+		"drop=NaN",
+		"drop=1,dup=1",
+		"warp=0.1",
+	} {
+		f.Add(spec, uint64(1))
+	}
+	f.Fuzz(func(t *testing.T, spec string, runSeed uint64) {
+		fp, err := sim.ParseFaultPlan(spec)
+		if err != nil {
+			return // rejection is the contract for malformed specs
+		}
+		if fp == nil {
+			return // blank spec: no faults
+		}
+		again, err := sim.ParseFaultPlan(fp.String())
+		if err != nil {
+			t.Fatalf("%q: String() %q does not reparse: %v", spec, fp.String(), err)
+		}
+		if *again != *fp {
+			t.Fatalf("%q: round trip changed the plan: %+v → %q → %+v", spec, fp, fp.String(), again)
+		}
+		cfg := sim.Config{
+			N: 6, F: 2, Protocol: gossip.PushPull{}, Seed: runSeed,
+			Faults: fp, StallWindow: 2048,
+		}
+		got, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("%q: engine: %v", spec, err)
+		}
+		want, err := oracle.Run(cfg)
+		if err != nil {
+			t.Fatalf("%q: oracle: %v", spec, err)
+		}
+		if diffs := DiffOutcomes(got, want); len(diffs) != 0 {
+			t.Errorf("%q: engine and oracle diverge under the plan:", spec)
+			for _, d := range diffs {
+				t.Errorf("  %s", d)
+			}
+		}
+		scfg := cfg
+		scfg.Workers = 4
+		sharded, err := sim.Run(scfg)
+		if err != nil {
+			t.Fatalf("%q: workers=4: %v", spec, err)
+		}
+		if diffs := DiffOutcomes(got, sharded); len(diffs) != 0 {
+			t.Errorf("%q: serial and sharded diverge under the plan:", spec)
 			for _, d := range diffs {
 				t.Errorf("  %s", d)
 			}

@@ -88,6 +88,30 @@ func Gen(genSeed uint64) Case {
 	if r.Intn(8) == 0 {
 		cfg.Horizon = 50 + sim.Step(r.Int63n(500))
 	}
+	if r.Intn(4) == 0 {
+		cfg.Faults = &sim.FaultPlan{
+			Seed:      r.Uint64(),
+			Drop:      float64(r.Intn(4)) * 0.05,
+			Duplicate: float64(r.Intn(4)) * 0.05,
+			Corrupt:   float64(r.Intn(4)) * 0.05,
+		}
+	}
+	// A lossy network or a scripted partition/link drop can sever the
+	// traffic a protocol is waiting for; give those cases a stall window so
+	// they terminate with Outcome.Stalled in bounded events instead of
+	// spinning to the horizon. Some fault-free cases draw a window too, so
+	// the no-stall path of the detector is differentially compared as well.
+	needStall := cfg.Faults != nil
+	if s, ok := adv.(Script); ok {
+		for _, a := range s.Actions {
+			if a.Op == OpSetClass || a.Op == OpDropLink {
+				needStall = true
+			}
+		}
+	}
+	if needStall || r.Intn(8) == 0 {
+		cfg.StallWindow = 2048 + r.Int63n(4096)
+	}
 
 	return Case{
 		Name: fmt.Sprintf("gen-%#x/%s/%s/n=%d/f=%d/seed=%#x", genSeed, pname, aname, n, f, cfg.Seed),
@@ -137,20 +161,28 @@ func genBig(r *xrand.RNG, genSeed uint64) Case {
 	}
 }
 
-// genScript draws a random deterministic action list: crashes and
-// δ/d/omission rewrites at arbitrary (often never-active) trigger steps,
-// with values spanning several orders of magnitude.
+// genScript draws a random deterministic action list: crashes,
+// recoveries, δ/d/omission rewrites, partition-class assignments and link
+// drops/heals at arbitrary (often never-active) trigger steps, with
+// values spanning several orders of magnitude.
 func genScript(r *xrand.RNG, n int) Script {
 	count := r.Intn(9)
 	actions := make([]Action, count)
 	for i := range actions {
 		a := Action{
 			At: sim.Step(r.Int63n(200)),
-			Op: Op(r.Intn(5)),
+			Op: Op(r.Intn(9)),
 			P:  sim.ProcID(r.Intn(n)),
 		}
-		if a.Op == OpSetDelta || a.Op == OpSetDelay {
+		switch a.Op {
+		case OpSetDelta, OpSetDelay:
 			a.V = 1 + sim.Step(r.Int63n(int64(1)<<uint(r.Intn(12))))
+		case OpRecover:
+			a.V = sim.Step(r.Intn(2)) // retained or amnesiac
+		case OpSetClass:
+			a.V = sim.Step(r.Intn(3))
+		case OpDropLink, OpHealLink:
+			a.V = sim.Step(r.Intn(n))
 		}
 		actions[i] = a
 	}

@@ -9,19 +9,26 @@ import (
 type Op uint8
 
 // The scripted interventions: every write operation of Definition II.5
-// that the Control surface exposes.
+// that the Control surface exposes, plus the fault-model extensions
+// (recovery, partition classes, link drops).
 const (
 	OpCrash Op = iota
 	OpSetDelta
 	OpSetDelay
 	OpOmitOn
 	OpOmitOff
+	OpRecover  // V ≠ 0: amnesiac recovery
+	OpSetClass // V: the partition class
+	OpDropLink // V: the link's destination process
+	OpHealLink // V: the link's destination process
 )
 
 // Action is one scripted intervention: at the first observed step ≥ At,
-// apply Op to process P (with value V for the rewrites). Crash requests
-// that the budget or an earlier crash makes impossible are silently
-// skipped, like any adversary's failed Crash call.
+// apply Op to process P (with value V for the rewrites; see the Op
+// constants for V's meaning on the fault ops). Crash requests that the
+// budget or an earlier crash makes impossible are silently skipped, like
+// any adversary's failed Crash call, and so are Recover requests on
+// processes that are not down.
 type Action struct {
 	At sim.Step
 	Op Op
@@ -82,6 +89,14 @@ func (si *scriptInstance) apply(now sim.Step, ctl sim.Control) {
 			ctl.SetOmitFrom(a.P, true)
 		case OpOmitOff:
 			ctl.SetOmitFrom(a.P, false)
+		case OpRecover:
+			ctl.Recover(a.P, a.V != 0)
+		case OpSetClass:
+			ctl.SetClass(a.P, int(a.V))
+		case OpDropLink:
+			ctl.DropLink(a.P, sim.ProcID(a.V))
+		case OpHealLink:
+			ctl.HealLink(a.P, sim.ProcID(a.V))
 		}
 	}
 }

@@ -110,6 +110,13 @@ type (
 	IntervalStats = sim.IntervalStats
 	// WallStats is a run's wall-clock cost by phase.
 	WallStats = sim.WallStats
+	// FaultPlan is a deterministic per-link fault model (Config.Faults):
+	// seeded probabilistic drop, duplication, and detected corruption of
+	// messages in the network, bit-identical across serial, parallel, and
+	// sharded execution.
+	FaultPlan = sim.FaultPlan
+	// LinkFault is the verdict of one FaultPlan roll.
+	LinkFault = sim.LinkFault
 	// JSONLTrace is the streaming JSONL TraceSink of sim/trace: full traces
 	// of large runs go to disk instead of RAM.
 	JSONLTrace = trace.JSONL
@@ -129,7 +136,22 @@ const (
 	TraceWake      = sim.TraceWake
 	TraceAdversary = sim.TraceAdversary
 	TraceEnd       = sim.TraceEnd
+	TraceRecover   = sim.TraceRecover
+	TraceDrop      = sim.TraceDrop
 )
+
+// Link-fault verdicts (sim.FaultNone etc. re-exported).
+const (
+	FaultNone      = sim.FaultNone
+	FaultDrop      = sim.FaultDrop
+	FaultDuplicate = sim.FaultDuplicate
+	FaultCorrupt   = sim.FaultCorrupt
+)
+
+// ParseFaultPlan parses a fault spec such as
+// "drop=0.1,dup=0.05,corrupt=0.01,seed=7" into a FaultPlan for
+// Config.Faults. An empty spec yields nil (no faults).
+func ParseFaultPlan(s string) (*FaultPlan, error) { return sim.ParseFaultPlan(s) }
 
 // AllKinds is the KindMask accepting every trace kind.
 const AllKinds = sim.AllKinds
@@ -204,6 +226,12 @@ type (
 	Oblivious = adversary.Oblivious
 	// Omission drops C's messages instead of delaying them (Sec. VII).
 	Omission = adversary.Omission
+	// Partition splits the membership into communication classes for
+	// windows of steps, healing between windows.
+	Partition = adversary.Partition
+	// CrashRecovery crashes up to ⌊F/2⌋ processes and later recovers each,
+	// mixing amnesiac and state-retaining restarts.
+	CrashRecovery = adversary.CrashRecovery
 )
 
 // Run executes one simulation to quiescence (or cutoff) and returns its
@@ -226,8 +254,8 @@ func ProtocolNames() []string { return gossip.Names() }
 // AdversaryByName looks an adversary up by name: "none" (nil), "ugf"
 // (the paper's fixed k = l = 1 setting), "ugf-sampled" (ζ(2)-sampled
 // exponents), "strategy-1", "strategy-2.1.0", "strategy-2.1.1",
-// "oblivious", or "omission". It is adversary.ByName re-exported,
-// mirroring ProtocolByName.
+// "oblivious", "omission", "partition", or "crash-recovery". It is
+// adversary.ByName re-exported, mirroring ProtocolByName.
 func AdversaryByName(name string) (Adversary, bool) { return adversary.ByName(name) }
 
 // AdversaryNames lists the names AdversaryByName accepts.
