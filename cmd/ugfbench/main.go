@@ -16,6 +16,12 @@
 // (including the live progress snapshot) and pprof over HTTP while a long
 // sweep runs.
 //
+// Distributed sweeps (DESIGN.md §13): -serve turns the -debugaddr
+// listener into a sweep coordinator carrying a content-addressed result
+// cache and an HTTP job API; -worker joins a coordinator and executes
+// leased runs; -coord routes an ordinary experiment invocation through a
+// coordinator instead of the local pool, with byte-identical artifacts.
+//
 // Examples:
 //
 //	ugfbench -list
@@ -24,7 +30,10 @@
 //	ugfbench -exp fig3e -fidelity full       # the paper's exact setting
 //	ugfbench -exp all -fidelity full -out results/ -resume   # after ^C
 //	ugfbench -exp fig3a -stats -debugaddr localhost:6060
-//	ugfbench -exp example1 -trace traces/ -tracekinds send,crash
+//	ugfbench -exp example1 -trace traces/ -trace-kinds send,crash
+//	ugfbench -serve -debugaddr :6060 -cachedir cache/        # coordinator
+//	ugfbench -worker http://coord:6060                       # on each machine
+//	ugfbench -exp fig3e -fidelity full -coord http://coord:6060 -out results/
 package main
 
 import (
@@ -47,8 +56,10 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/ugf-sim/ugf/internal/cliflags"
 	"github.com/ugf-sim/ugf/internal/experiments"
 	"github.com/ugf-sim/ugf/internal/runner"
+	"github.com/ugf-sim/ugf/internal/service"
 	"github.com/ugf-sim/ugf/internal/sim"
 	simtrace "github.com/ugf-sim/ugf/internal/sim/trace"
 )
@@ -78,6 +89,8 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ugfbench", flag.ContinueOnError)
+	var common cliflags.Common
+	common.Register(fs)
 	var (
 		expID = fs.String("exp", "all",
 			"experiment id or \"all\": "+strings.Join(experiments.IDs(), "|"))
@@ -85,10 +98,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		outDir      = fs.String("out", "", "directory for CSV and Markdown output (optional)")
 		summary     = fs.String("summary", "", "write a combined claims-status Markdown table to this file")
 		seed        = fs.Uint64("seed", 0, "base seed (0: default 2022)")
-		workers     = fs.Int("workers", 0, "parallel runs (0: GOMAXPROCS)")
-		shards      = fs.Int("shards", 0, "commit shards inside each run (0: serial commits; outcomes identical)")
-		faults      = fs.String("faults", "", "overlay a link-fault plan on every run, e.g. drop=0.1,dup=0.05,seed=7 (empty: no faults)")
-		stallWin    = fs.Int64("stallwindow", 0, "overlay a stall window: declare a stall after this many events without progress (0: off)")
+		workers     = fs.Int("workers", 0, "parallel runs (0: GOMAXPROCS); with -worker, concurrent leases")
 		list        = fs.Bool("list", false, "list experiments and exit")
 		progress    = fs.Bool("progress", true, "print run progress")
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -96,30 +106,45 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		resume      = fs.Bool("resume", false, "reuse journaled runs from a previous interrupted sweep (requires -out)")
 		maxwall     = fs.Duration("maxwall", 0, "per-run wall-clock watchdog; runs over the limit count as cutoffs (0: none)")
 		cancelAfter = fs.Int("cancelafter", 0, "cancel the sweep after this many completed runs — a deterministic SIGINT for tests (0: never)")
-		showStats   = fs.Bool("stats", false, "print aggregated engine statistics per experiment")
 		traceDir    = fs.String("trace", "", "stream one JSONL event trace per run into this directory (can be large)")
-		traceKinds  = fs.String("tracekinds", "", "comma-separated trace kinds to keep with -trace (default: all): send,arrive,step,crash,sleep,wake,adversary,end,recover,drop")
 		debugAddr   = fs.String("debugaddr", "", "serve expvar (/debug/vars, incl. live progress) and pprof (/debug/pprof) on this HTTP address")
+		serve       = fs.Bool("serve", false, "run as a sweep coordinator: mount the job API on -debugaddr and wait for workers and submissions")
+		workerURL   = fs.String("worker", "", "run as a sweep worker against the coordinator at this URL (e.g. http://host:6060)")
+		coordURL    = fs.String("coord", "", "execute experiments through the coordinator at this URL instead of the local pool")
+		cacheDir    = fs.String("cachedir", "", "with -serve, persist the content-addressed result cache in this directory")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	common.Warn(fs, os.Stderr)
+	if err := common.Validate(*traceDir != ""); err != nil {
 		return err
 	}
 	if *resume && *outDir == "" {
 		return errors.New("-resume requires -out (the run journal lives in the output directory)")
 	}
-	kindMask, err := parseKindMask(*traceKinds)
+	modes := 0
+	for _, on := range []bool{*serve, *workerURL != "", *coordURL != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return errors.New("-serve, -worker, and -coord are mutually exclusive")
+	}
+	if *serve && *debugAddr == "" {
+		return errors.New("-serve requires -debugaddr (the job API shares its listener)")
+	}
+	if *cacheDir != "" && !*serve {
+		return errors.New("-cachedir only applies to -serve (workers and clients hold no cache)")
+	}
+	kindMask, err := common.KindMask()
 	if err != nil {
 		return err
 	}
-	faultPlan, err := sim.ParseFaultPlan(*faults)
+	faultPlan, err := common.FaultPlan()
 	if err != nil {
 		return err
-	}
-	if *stallWin < 0 {
-		return fmt.Errorf("stallwindow = %d, need ≥ 0", *stallWin)
-	}
-	if *traceKinds != "" && *traceDir == "" {
-		return errors.New("-tracekinds requires -trace")
 	}
 	if *debugAddr != "" {
 		ln, err := net.Listen("tcp", *debugAddr)
@@ -128,8 +153,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		defer ln.Close()
 		fmt.Fprintf(os.Stderr, "ugfbench: debug endpoint on http://%s/debug/vars and /debug/pprof/\n", ln.Addr())
+		if *serve {
+			coord, err := newCoordinator(*cacheDir)
+			if err != nil {
+				return err
+			}
+			// The job API shares the debug listener: one address carries
+			// observability and jobs.
+			service.Register(http.DefaultServeMux, coord)
+			fmt.Fprintf(os.Stderr, "ugfbench: sweep coordinator on http://%s/v1/\n", ln.Addr())
+			go http.Serve(ln, nil)
+			<-ctx.Done()
+			return nil
+		}
 		// DefaultServeMux carries expvar's and net/http/pprof's handlers.
 		go http.Serve(ln, nil)
+	}
+	if *workerURL != "" {
+		return runWorker(ctx, *workerURL, *workers)
 	}
 	if *cancelAfter > 0 {
 		var cancel context.CancelFunc
@@ -208,9 +249,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	var reports []*experiments.Report
 	for _, e := range selected {
 		cfg := experiments.Config{
-			Fidelity: fid, Workers: *workers, Shards: *shards, BaseSeed: *seed,
+			Fidelity: fid, Workers: *workers, Shards: common.Shards, BaseSeed: *seed,
 			Context: ctx, MaxWall: *maxwall,
-			Faults: faultPlan, StallWindow: *stallWin,
+			Faults: faultPlan, StallWindow: common.StallWindow,
+		}
+		if *coordURL != "" {
+			client := service.NewClient(*coordURL)
+			cfg.Exec = func(ctx context.Context, specs []runner.Spec, opts runner.Options) ([]runner.Result, error) {
+				return service.ExecuteSpecs(ctx, client, specs, opts)
+			}
 		}
 		prog := runner.NewProgress(nil, e.ID)
 		if *progress {
@@ -254,7 +301,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err := render(out, rep, time.Since(start)); err != nil {
 			return err
 		}
-		if *showStats {
+		if common.Stats {
 			renderStats(out, rep)
 		}
 		if *outDir != "" {
@@ -291,26 +338,48 @@ func onRunCallback(prog *runner.Progress) func(runner.RunUpdate) {
 	}
 }
 
-// parseKindMask converts the -tracekinds flag value into a kind mask;
-// empty input means all kinds (mask 0).
-func parseKindMask(s string) (sim.KindMask, error) {
-	var mask sim.KindMask
-	if s == "" {
-		return mask, nil
-	}
-	for _, name := range strings.Split(s, ",") {
-		k, ok := sim.ParseTraceKind(strings.TrimSpace(name))
-		if !ok {
-			return 0, fmt.Errorf("unknown trace kind %q (have send, arrive, step, crash, sleep, wake, adversary, end, recover, drop)", name)
+// newCoordinator builds the -serve coordinator, backed by a persistent
+// result cache when -cachedir is set.
+func newCoordinator(cacheDir string) (*service.Coordinator, error) {
+	var opts service.Options
+	if cacheDir != "" {
+		cache, err := service.NewCache(cacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("cachedir: %w", err)
 		}
-		mask |= sim.MaskOf(k)
+		opts.Cache = cache
 	}
-	return mask, nil
+	return service.NewCoordinator(opts), nil
+}
+
+// runWorker executes leased runs against a remote coordinator until
+// interrupted; -workers bounds concurrent leases (0: GOMAXPROCS).
+func runWorker(ctx context.Context, coordURL string, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "ugfbench: worker: %d lease slot(s) against %s\n", workers, coordURL)
+	var done atomic.Int64
+	err := service.RunWorker(ctx, service.NewClient(coordURL), service.WorkerOptions{
+		Concurrency: workers,
+		OnRun: func(lease *service.Lease, res service.CompleteRequest) {
+			n := done.Add(1)
+			status := "ok"
+			if res.ConfigError != "" || res.Err != nil {
+				status = "failed"
+			}
+			fmt.Fprintf(os.Stderr, "ugfbench: worker: run %d (%s seed=%d) %s\n", n, lease.Spec.Protocol, lease.Spec.Seed, status)
+		},
+	})
+	if errors.Is(err, context.Canceled) {
+		return nil // clean shutdown
+	}
+	return err
 }
 
 // traceFactory builds the per-run trace-sink factory for -trace: one JSONL
 // file per run, named after the experiment, spec, and run index, filtered
-// to the -tracekinds mask. A file that cannot be created disables tracing
+// to the -trace-kinds mask. A file that cannot be created disables tracing
 // for that run (reported on stderr) without failing it.
 func traceFactory(dir, expID string, kinds sim.KindMask) func(runner.Spec, int) sim.TraceSink {
 	return func(spec runner.Spec, run int) sim.TraceSink {

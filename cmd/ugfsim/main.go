@@ -2,11 +2,18 @@
 // by the Universal Gossip Fighter (or any other adversary of the library)
 // and reports the paper's complexity measures.
 //
+// Scenarios can also be given as canonical specs (-spec), the same
+// serializable run descriptions the sweep service caches and exchanges:
+// parameterized protocols and adversaries, fault plans, and stall windows
+// in one JSON value, validated against the registries' schemas.
+//
 // Examples:
 //
 //	ugfsim -protocol ears -adversary ugf -n 100 -f 30
 //	ugfsim -protocol push-pull -adversary strategy-2.1.1 -n 200 -f 60 -runs 20
 //	ugfsim -protocol sears -n 50 -f 15 -trace
+//	ugfsim -spec '{"protocol":"sears","protocol_params":{"epsilon":0.25},"n":50,"f":15,"seed":7}'
+//	ugfsim -spec @scenario.json -runs 20
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"strings"
 
 	"github.com/ugf-sim/ugf"
+	"github.com/ugf-sim/ugf/internal/cliflags"
 	"github.com/ugf-sim/ugf/internal/plot"
 	"github.com/ugf-sim/ugf/internal/runner"
 	"github.com/ugf-sim/ugf/internal/stats"
@@ -32,6 +40,8 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ugfsim", flag.ContinueOnError)
+	var common cliflags.Common
+	common.Register(fs)
 	var (
 		protoName = fs.String("protocol", "push-pull",
 			"gossip protocol: "+strings.Join(ugf.ProtocolNames(), "|"))
@@ -40,15 +50,11 @@ func run(args []string, out io.Writer) error {
 		n          = fs.Int("n", 100, "number of processes N")
 		f          = fs.Int("f", -1, "crash budget F (default 0.3N)")
 		seed       = fs.Uint64("seed", 1, "random seed")
+		specArg    = fs.String("spec", "", "canonical run spec (inline JSON or @file); replaces -protocol/-adversary/-n/-f/-seed/-faults/-stall-window")
 		runs       = fs.Int("runs", 1, "repetitions (summary statistics when > 1)")
 		workers    = fs.Int("workers", 0, "parallel runs (0: GOMAXPROCS)")
-		shards     = fs.Int("shards", 0, "commit shards inside each run (0: serial commits; outcomes identical)")
-		faults     = fs.String("faults", "", "link-fault plan, e.g. drop=0.1,dup=0.05,corrupt=0.01,seed=7 (empty: no faults)")
-		stallWin   = fs.Int64("stallwindow", 0, "declare a stall after this many events without progress (0: off)")
 		trace      = fs.Bool("trace", false, "stream the event trace as text (runs=1 only)")
 		traceOut   = fs.String("traceout", "", "stream the event trace to this JSONL file (runs=1 only)")
-		traceKinds = fs.String("tracekinds", "", "comma-separated trace kinds to keep (default: all): send,arrive,step,crash,sleep,wake,adversary,end,recover,drop")
-		showStats  = fs.Bool("stats", false, "print the engine's run-level statistics (runs=1 only)")
 		quiet      = fs.Bool("q", false, "print outcome line(s) only")
 		asJSON     = fs.Bool("json", false, "emit outcomes as JSON lines instead of text")
 		curve      = fs.Bool("curve", false, "print the dissemination curve (runs=1 only)")
@@ -57,34 +63,76 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	proto, ok := ugf.ProtocolByName(*protoName)
-	if !ok {
-		return fmt.Errorf("unknown protocol %q (have %s)", *protoName, strings.Join(ugf.ProtocolNames(), ", "))
-	}
-	adv, ok := ugf.AdversaryByName(*advName)
-	if !ok {
-		return fmt.Errorf("unknown adversary %q (have %s)", *advName, strings.Join(ugf.AdversaryNames(), ", "))
-	}
-	if *n < 1 {
-		return fmt.Errorf("n = %d, need ≥ 1", *n)
-	}
-	budget := *f
-	if budget < 0 {
-		budget = int(0.3 * float64(*n))
-	}
-
-	if *shards < 0 {
-		return fmt.Errorf("shards = %d, need ≥ 0", *shards)
-	}
-	plan, err := ugf.ParseFaultPlan(*faults)
-	if err != nil {
+	common.Warn(fs, os.Stderr)
+	if err := common.Validate(*trace || *traceOut != ""); err != nil {
 		return err
 	}
-	cfg := ugf.Config{
-		N: *n, F: budget, Protocol: proto, Adversary: adv, Seed: *seed, Workers: *shards,
-		Faults: plan, StallWindow: *stallWin,
+
+	var cfg ugf.Config
+	var seriesName string
+	if *specArg != "" {
+		replaced := map[string]bool{
+			"protocol": true, "adversary": true, "n": true, "f": true, "seed": true,
+			"faults": true, "stall-window": true, "stallwindow": true,
+		}
+		var conflict string
+		fs.Visit(func(fl *flag.Flag) {
+			if replaced[fl.Name] {
+				conflict = fl.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-spec replaces -%s; put the value in the spec instead", conflict)
+		}
+		data := []byte(*specArg)
+		if strings.HasPrefix(*specArg, "@") {
+			var err error
+			data, err = os.ReadFile((*specArg)[1:])
+			if err != nil {
+				return err
+			}
+		}
+		sp, err := ugf.ParseSpec(data)
+		if err != nil {
+			return err
+		}
+		cfg, err = sp.Config()
+		if err != nil {
+			return err
+		}
+		adversaryLabel := sp.Adversary
+		if adversaryLabel == "" {
+			adversaryLabel = "none"
+		}
+		seriesName = sp.Protocol + "/" + adversaryLabel
+		*seed = cfg.Seed
+	} else {
+		proto, ok := ugf.ProtocolByName(*protoName)
+		if !ok {
+			return fmt.Errorf("unknown protocol %q (have %s)", *protoName, strings.Join(ugf.ProtocolNames(), ", "))
+		}
+		adv, ok := ugf.AdversaryByName(*advName)
+		if !ok {
+			return fmt.Errorf("unknown adversary %q (have %s)", *advName, strings.Join(ugf.AdversaryNames(), ", "))
+		}
+		if *n < 1 {
+			return fmt.Errorf("n = %d, need ≥ 1", *n)
+		}
+		budget := *f
+		if budget < 0 {
+			budget = int(0.3 * float64(*n))
+		}
+		plan, err := common.FaultPlan()
+		if err != nil {
+			return err
+		}
+		cfg = ugf.Config{
+			N: *n, F: budget, Protocol: proto, Adversary: adv, Seed: *seed,
+			Faults: plan, StallWindow: common.StallWindow,
+		}
+		seriesName = *protoName + "/" + *advName
 	}
+	cfg.Workers = common.Shards
 
 	emit := func(o ugf.Outcome) error {
 		if *asJSON {
@@ -94,13 +142,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	var kinds ugf.KindMask
-	for _, name := range strings.FieldsFunc(*traceKinds, func(r rune) bool { return r == ',' }) {
-		k, ok := ugf.ParseTraceKind(strings.TrimSpace(name))
-		if !ok {
-			return fmt.Errorf("unknown trace kind %q (have send, arrive, step, crash, sleep, wake, adversary, end, recover, drop)", name)
-		}
-		kinds |= ugf.MaskOf(k)
+	kinds, err := common.KindMask()
+	if err != nil {
+		return err
 	}
 
 	if *runs <= 1 {
@@ -142,17 +186,17 @@ func run(args []string, out io.Writer) error {
 				return cerr
 			}
 		}
-		if *showStats {
+		if common.Stats {
 			printStats(out, o.Stats)
 		}
 		return emit(o)
 	}
 
-	if *trace || *traceOut != "" || *showStats {
+	if *trace || *traceOut != "" || common.Stats {
 		return fmt.Errorf("-trace, -traceout and -stats need runs=1 (got -runs %d)", *runs)
 	}
 	specs := []runner.Spec{{
-		Name: *protoName + "/" + *advName,
+		Name: seriesName,
 		Base: cfg,
 		Runs: *runs, BaseSeed: *seed,
 	}}
@@ -172,7 +216,7 @@ func run(args []string, out io.Writer) error {
 		return nil // JSON mode emits machine-readable lines only
 	}
 	table := &plot.Table{
-		Title:   fmt.Sprintf("%s vs %s: N=%d F=%d, %d runs", *protoName, *advName, *n, budget, *runs),
+		Title:   fmt.Sprintf("%s: N=%d F=%d, %d runs", seriesName, cfg.N, cfg.F, *runs),
 		Columns: []string{"metric", "median", "Q1", "Q3", "mean", "min", "max"},
 	}
 	for _, m := range []struct {

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSpecFlagMatchesEquivalentFlags: a run described by -spec produces
+// the same outcome line as the equivalent -protocol/-n/-f/-seed flags —
+// the spec path routes through the same blessed Config construction.
+func TestSpecFlagMatchesEquivalentFlags(t *testing.T) {
+	byFlags, err := runCLI(t, "-protocol", "ears", "-adversary", "ugf", "-n", "30", "-f", "9", "-seed", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySpec, err := runCLI(t, "-spec", `{"protocol":"ears","adversary":"ugf","n":30,"f":9,"seed":4}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byFlags != bySpec {
+		t.Errorf("spec run diverged from flag run:\n%s\n%s", byFlags, bySpec)
+	}
+}
+
+// TestSpecFlagFromFile: @file loads the spec from disk, and parameter
+// overlays apply.
+func TestSpecFlagFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(`{"protocol":"sears","protocol_params":{"epsilon":0.25},"n":20,"f":5,"seed":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-spec", "@"+path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sears") {
+		t.Errorf("spec file run output:\n%s", out)
+	}
+}
+
+// TestSpecFlagErrors: invalid specs and conflicting flags are rejected
+// with pointed messages.
+func TestSpecFlagErrors(t *testing.T) {
+	if _, err := runCLI(t, "-spec", `{"protocol":"nope","n":10,"f":1}`); err == nil || !strings.Contains(err.Error(), "protocol") {
+		t.Errorf("unknown protocol in spec: %v", err)
+	}
+	if _, err := runCLI(t, "-spec", `{"protocol":"ears","n":10,"f":1}`, "-n", "20"); err == nil || !strings.Contains(err.Error(), "-spec replaces -n") {
+		t.Errorf("conflicting -n: %v", err)
+	}
+	if _, err := runCLI(t, "-spec", "@/does/not/exist.json"); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}

@@ -2,22 +2,51 @@ package adversary
 
 import (
 	"fmt"
+	"reflect"
 
 	"github.com/ugf-sim/ugf/internal/core"
+	"github.com/ugf-sim/ugf/internal/params"
 	"github.com/ugf-sim/ugf/internal/sim"
 )
+
+// Entry is one registered adversary: its registry name, the configured
+// default instance, and the machine-readable schemas of its tunable
+// parameters — the same shape the protocol registry exposes, so the sweep
+// service validates both sides of a spec identically.
+type Entry struct {
+	// Name is the registry name ("ugf", "strategy-2.1.0", …). "none" has
+	// an Entry with a nil Adversary and no parameters.
+	Name string
+	// Adversary is the configured default instance (nil for "none").
+	Adversary sim.Adversary
+	// Params describes the entry's tunable parameters.
+	Params []params.Schema
+}
 
 // ByName returns the adversary with the given registry name, configured
 // with the paper's experimental parameters, mirroring gossip.ByName. The
 // name "none" resolves to (nil, true): a nil Adversary is the engine's
-// adversary-free mode. Parameterized construction (custom exponents,
-// crash schedules, …) is done by building the struct directly.
+// adversary-free mode. Parameterized construction is done with Build
+// (validated, by name) or by building the struct directly.
 func ByName(name string) (sim.Adversary, bool) {
 	if name == "none" {
 		return nil, true
 	}
-	a, ok := registry[name]
-	return a, ok
+	e, ok := registry[name]
+	if !ok {
+		return nil, false
+	}
+	return e.Adversary, true
+}
+
+// EntryByName returns the full registry entry, schemas included; "none"
+// resolves to an empty entry.
+func EntryByName(name string) (Entry, bool) {
+	if name == "none" {
+		return Entry{Name: "none"}, true
+	}
+	e, ok := registry[name]
+	return e, ok
 }
 
 // Names lists the registry names, "none" first, then the paper's
@@ -25,6 +54,16 @@ func ByName(name string) (sim.Adversary, bool) {
 // contrast adversaries.
 func Names() []string {
 	return append([]string(nil), names...)
+}
+
+// Entries lists the registry entries in Names order, "none" included.
+func Entries() []Entry {
+	out := make([]Entry, 0, len(names))
+	for _, name := range names {
+		e, _ := EntryByName(name)
+		out = append(out, e)
+	}
+	return out
 }
 
 // MustByName is ByName for static names; it panics on unknown ones.
@@ -36,6 +75,68 @@ func MustByName(name string) sim.Adversary {
 	return a
 }
 
+// Build constructs the named adversary with the given parameter overrides
+// applied on top of the entry's configured default instance, validated
+// against the entry's schemas. "none" accepts no parameters and builds
+// nil. Unknown names and invalid parameters return an error (a
+// *params.Error for parameter failures).
+func Build(name string, p map[string]float64) (sim.Adversary, error) {
+	if name == "none" {
+		if len(p) > 0 {
+			return nil, &params.Error{Msg: `adversary "none" takes no parameters`}
+		}
+		return nil, nil
+	}
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("adversary: unknown adversary %q (have %v)", name, Names())
+	}
+	if len(p) == 0 {
+		return e.Adversary, nil
+	}
+	v, err := params.Apply(e.Adversary, p, e.Params)
+	if err != nil {
+		return nil, err
+	}
+	return v.(sim.Adversary), nil
+}
+
+// Extract maps a concrete adversary value back to (registry name,
+// parameter overrides): the inverse of Build, used by the spec
+// canonicalizer. nil extracts to "none". Exact matches on a configured
+// default win (so core.UGF{FixedK: 1, FixedL: 1} names "ugf" and
+// core.UGF{} names "ugf-sampled"); tuned instances name the first
+// same-type entry in Names order with the differing fields as overrides.
+// ok is false for unregistered adversary types.
+func Extract(a sim.Adversary) (name string, overrides map[string]float64, ok bool) {
+	if a == nil {
+		return "none", nil, true
+	}
+	bestName := ""
+	var bestDiff map[string]float64
+	for _, name := range names {
+		if name == "none" {
+			continue
+		}
+		e := registry[name]
+		if reflect.TypeOf(e.Adversary) != reflect.TypeOf(a) {
+			continue
+		}
+		diff := params.Diff(a, e.Adversary)
+		if len(diff) == 0 {
+			return name, nil, true // exact match on the configured default
+		}
+		if bestName == "" {
+			bestName = name
+			bestDiff = diff
+		}
+	}
+	if bestName == "" {
+		return "", nil, false
+	}
+	return bestName, bestDiff, true
+}
+
 // names fixes the order Names returns; every entry except "none" has a
 // registry value.
 var names = []string{
@@ -44,23 +145,51 @@ var names = []string{
 	"oblivious", "omission", "partition", "crash-recovery",
 }
 
-// registry maps names to configured values. The strategy keys name the
+// advBounds constrains the parameters whose domains the adversary
+// implementations assume: the strategy-mix probabilities live in [0, 1],
+// counts and step times are non-negative.
+var advBounds = params.Bounds{
+	"q1":          {0, 1},
+	"q2":          {0, 1},
+	"tau":         {0, 1 << 50},
+	"fixedk":      {0, 64},
+	"fixedl":      {0, 64},
+	"maxexponent": {0, 64},
+	"k":           {0, 64},
+	"l":           {0, 64},
+	"maxtime":     {0, 1 << 50},
+	"dropbudget":  {0, 1 << 50},
+	"classes":     {0, 1 << 31},
+	"window":      {0, 1 << 50},
+	"gap":         {0, 1 << 50},
+	"cycles":      {0, 1 << 31},
+	"downtime":    {0, 1 << 50},
+}
+
+// registry maps names to configured entries. The strategy keys name the
 // k = l = 1 instantiations the experiments use ("strategy-2.1.0",
 // "strategy-2.1.1"), not the generic Name() labels ("strategy-2.k.0"),
 // which describe the parameterized family.
-var registry = map[string]sim.Adversary{
+var registry = map[string]Entry{}
+
+func register(name string, a sim.Adversary) {
+	registry[name] = Entry{Name: name, Adversary: a, Params: params.Describe(a, advBounds)}
+}
+
+func init() {
 	// The paper's Section V-A3 setting fixes both exponents to 1; the
 	// sampled variant draws them from ζ(2) as Algorithm 1 specifies.
-	"ugf":                core.UGF{FixedK: 1, FixedL: 1},
-	"ugf-sampled":        core.UGF{},
-	"strategy-1":         core.Strategy1{},
-	"strategy-2.1.0":     core.Strategy2K0{},
-	"strategy-2.1.1":     core.Strategy2KL{},
-	(Oblivious{}).Name(): Oblivious{},
-	(Omission{}).Name():  Omission{},
+	register("ugf", core.UGF{FixedK: 1, FixedL: 1})
+	register("ugf-sampled", core.UGF{})
+	register("strategy-1", core.Strategy1{})
+	register("strategy-2.1.0", core.Strategy2K0{})
+	register("strategy-2.1.1", core.Strategy2KL{})
+	register((Oblivious{}).Name(), Oblivious{})
+	register((Omission{}).Name(), Omission{})
 	// The registry partition always heals after its cycles, so property
 	// sweeps over registry names terminate; Partition{Permanent: true} is
-	// only ever constructed directly.
-	(Partition{}).Name():     Partition{},
-	(CrashRecovery{}).Name(): CrashRecovery{},
+	// only ever constructed directly (its spec encoding carries
+	// permanent=1).
+	register((Partition{}).Name(), Partition{})
+	register((CrashRecovery{}).Name(), CrashRecovery{})
 }

@@ -1,0 +1,106 @@
+// Package cliflags defines the flags ugfsim and ugfbench share, so the
+// two CLIs spell common knobs the same way and validate them with the
+// same code.
+//
+// Canonical spellings are hyphenated (-trace-kinds, -stall-window); the
+// historical run-together spellings (-tracekinds, -stallwindow) remain
+// registered as deprecated aliases that keep working but print a pointer
+// to the new name on use. Flags whose types genuinely differ between the
+// CLIs (-trace is a bool in ugfsim, an output directory in ugfbench)
+// stay per-CLI.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+// Common holds the flag values shared by both CLIs. Register binds them;
+// the zero value of every field is the flag's default.
+type Common struct {
+	Stats       bool   // -stats: print aggregated engine statistics
+	TraceKinds  string // -trace-kinds: comma-separated trace kind filter
+	Faults      string // -faults: link-fault plan overlay
+	StallWindow int64  // -stall-window: events without progress before declaring a stall
+	Shards      int    // -shards: commit shards inside each run
+
+	deprecated map[string]string // alias → canonical, for the post-Parse warning
+}
+
+// Register installs the shared flags on fs, canonical names and
+// deprecated aliases alike. Call Warn after fs.Parse to report any
+// deprecated spellings the command line actually used.
+func (c *Common) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Stats, "stats", false, "print aggregated engine statistics")
+	fs.StringVar(&c.Faults, "faults", "", "overlay a link-fault plan on every run, e.g. drop=0.1,dup=0.05,seed=7 (empty: no faults)")
+	fs.IntVar(&c.Shards, "shards", 0, "commit shards inside each run (0: serial commits; outcomes identical)")
+	fs.StringVar(&c.TraceKinds, "trace-kinds", "", "comma-separated trace kinds to keep when tracing (default: all): send,arrive,step,crash,sleep,wake,adversary,end,recover,drop")
+	fs.Int64Var(&c.StallWindow, "stall-window", 0, "overlay a stall window: declare a stall after this many events without progress (0: off)")
+
+	// Deprecated aliases: the same variable bound under the old spelling,
+	// so either name works and the last one on the command line wins.
+	c.deprecated = map[string]string{
+		"tracekinds":  "trace-kinds",
+		"stallwindow": "stall-window",
+	}
+	fs.StringVar(&c.TraceKinds, "tracekinds", "", "deprecated alias for -trace-kinds")
+	fs.Int64Var(&c.StallWindow, "stallwindow", 0, "deprecated alias for -stall-window")
+}
+
+// Warn prints one pointer per deprecated flag spelling that was set on
+// the parsed fs. Call it right after fs.Parse.
+func (c *Common) Warn(fs *flag.FlagSet, w io.Writer) {
+	fs.Visit(func(f *flag.Flag) {
+		if canonical, ok := c.deprecated[f.Name]; ok {
+			fmt.Fprintf(w, "%s: -%s is deprecated; use -%s\n", fs.Name(), f.Name, canonical)
+		}
+	})
+}
+
+// Validate checks the shared values' ranges and cross-flag constraints.
+// traceActive says whether the CLI's own -trace flag was set, for the
+// "-trace-kinds requires -trace" rule.
+func (c *Common) Validate(traceActive bool) error {
+	if c.StallWindow < 0 {
+		return fmt.Errorf("stall-window = %d, need ≥ 0", c.StallWindow)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("shards = %d, need ≥ 0", c.Shards)
+	}
+	if c.TraceKinds != "" && !traceActive {
+		return fmt.Errorf("-trace-kinds requires -trace")
+	}
+	return nil
+}
+
+// KindMask parses the -trace-kinds value into a kind mask; empty input
+// means all kinds (mask 0).
+func (c *Common) KindMask() (sim.KindMask, error) {
+	return ParseKindMask(c.TraceKinds)
+}
+
+// FaultPlan parses the -faults value; empty input yields a nil plan.
+func (c *Common) FaultPlan() (*sim.FaultPlan, error) {
+	return sim.ParseFaultPlan(c.Faults)
+}
+
+// ParseKindMask converts a comma-separated trace-kind list into a kind
+// mask; empty input means all kinds (mask 0).
+func ParseKindMask(s string) (sim.KindMask, error) {
+	var mask sim.KindMask
+	if s == "" {
+		return mask, nil
+	}
+	for _, name := range strings.Split(s, ",") {
+		k, ok := sim.ParseTraceKind(strings.TrimSpace(name))
+		if !ok {
+			return 0, fmt.Errorf("unknown trace kind %q (have send, arrive, step, crash, sleep, wake, adversary, end, recover, drop)", name)
+		}
+		mask |= sim.MaskOf(k)
+	}
+	return mask, nil
+}

@@ -1,0 +1,83 @@
+package cliflags
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func newSet(t *testing.T) (*Common, *flag.FlagSet) {
+	t.Helper()
+	var c Common
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	c.Register(fs)
+	return &c, fs
+}
+
+// TestCanonicalAndAliasBindSameValue: both spellings set the same field,
+// and only the deprecated one triggers a warning.
+func TestCanonicalAndAliasBindSameValue(t *testing.T) {
+	c, fs := newSet(t)
+	if err := fs.Parse([]string{"-stall-window", "100", "-trace-kinds", "send"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.StallWindow != 100 || c.TraceKinds != "send" {
+		t.Errorf("canonical spellings not bound: %+v", c)
+	}
+	var buf bytes.Buffer
+	c.Warn(fs, &buf)
+	if buf.Len() != 0 {
+		t.Errorf("canonical spellings warned: %q", buf.String())
+	}
+
+	c2, fs2 := newSet(t)
+	if err := fs2.Parse([]string{"-stallwindow", "200", "-tracekinds", "crash"}); err != nil {
+		t.Fatal(err)
+	}
+	if c2.StallWindow != 200 || c2.TraceKinds != "crash" {
+		t.Errorf("deprecated spellings not bound: %+v", c2)
+	}
+	buf.Reset()
+	c2.Warn(fs2, &buf)
+	warnings := buf.String()
+	if !strings.Contains(warnings, "-stallwindow is deprecated; use -stall-window") ||
+		!strings.Contains(warnings, "-tracekinds is deprecated; use -trace-kinds") {
+		t.Errorf("deprecation pointers missing: %q", warnings)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c, fs := newSet(t)
+	if err := fs.Parse([]string{"-stall-window", "-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(false); err == nil {
+		t.Error("negative stall window accepted")
+	}
+
+	c2, fs2 := newSet(t)
+	if err := fs2.Parse([]string{"-trace-kinds", "send"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Validate(false); err == nil {
+		t.Error("-trace-kinds without -trace accepted")
+	}
+	if err := c2.Validate(true); err != nil {
+		t.Errorf("-trace-kinds with -trace rejected: %v", err)
+	}
+}
+
+func TestParseKindMask(t *testing.T) {
+	if m, err := ParseKindMask(""); err != nil || m != 0 {
+		t.Errorf("empty mask: %v, %v", m, err)
+	}
+	if _, err := ParseKindMask("send, crash"); err != nil {
+		t.Errorf("valid kinds rejected: %v", err)
+	}
+	if _, err := ParseKindMask("zap"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

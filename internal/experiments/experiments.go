@@ -102,10 +102,16 @@ type Config struct {
 	// themselves (degradation) keep their per-spec plans.
 	Faults *sim.FaultPlan
 	// StallWindow, when > 0, overlays a stall window on every spec that
-	// does not set its own (ugfbench -stallwindow), so fault-heavy sweeps
+	// does not set its own (ugfbench -stall-window), so fault-heavy sweeps
 	// terminate with classified Stalled outcomes instead of spinning to
 	// the event horizon.
 	StallWindow int64
+	// Exec, when non-nil, replaces runner.ExecuteContext as the batch
+	// executor — ugfbench -coord plugs the sweep service's remote executor
+	// in here. Implementations must honor the runner.Result contract
+	// (ordering, error classification, journal integration) so downstream
+	// artifacts stay byte-identical.
+	Exec func(ctx context.Context, specs []runner.Spec, opts runner.Options) ([]runner.Result, error)
 }
 
 func (c Config) context() context.Context {
@@ -251,7 +257,11 @@ func execute(rep *Report, cfg Config, specs []runner.Spec) ([]runner.Result, err
 			specs[i].Base.StallWindow = cfg.StallWindow
 		}
 	}
-	results, err := runner.ExecuteContext(cfg.context(), specs, runner.Options{
+	exec := cfg.Exec
+	if exec == nil {
+		exec = runner.ExecuteContext
+	}
+	results, err := exec(cfg.context(), specs, runner.Options{
 		Workers:  cfg.Workers,
 		Progress: cfg.Progress,
 		OnRun:    cfg.OnRun,

@@ -1,0 +1,79 @@
+package params
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+type knobs struct {
+	Rate    float64
+	Window  int
+	Enabled bool
+
+	hidden int // unexported: never a parameter
+}
+
+func schemas() []Schema {
+	return Describe(knobs{Rate: 0.5, Window: 8, Enabled: true}, Bounds{"rate": {0, 1}})
+}
+
+func TestDescribe(t *testing.T) {
+	got := schemas()
+	want := []Schema{
+		{Name: "rate", Kind: Float, Default: 0.5, Min: 0, Max: 1},
+		{Name: "window", Kind: Int, Default: 8, Min: 1, Max: 0},
+		{Name: "enabled", Kind: Bool, Default: 1, Min: 0, Max: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Describe = %+v, want %+v", got, want)
+	}
+	if got[0].Bounded() != true || got[1].Bounded() != false {
+		t.Error("Bounded verdicts wrong")
+	}
+}
+
+func TestApplyAndDiffRoundTrip(t *testing.T) {
+	base := knobs{Rate: 0.5, Window: 8, Enabled: true}
+	p := map[string]float64{"rate": 0.25, "enabled": 0}
+	applied, err := Apply(base, p, schemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := knobs{Rate: 0.25, Window: 8, Enabled: false}
+	if applied != any(want) {
+		t.Errorf("Apply = %+v, want %+v", applied, want)
+	}
+	if d := Diff(applied, base); !reflect.DeepEqual(d, p) {
+		t.Errorf("Diff(Apply(base, p), base) = %v, want %v", d, p)
+	}
+	if d := Diff(base, base); d != nil {
+		t.Errorf("Diff(base, base) = %v, want nil", d)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		p    map[string]float64
+	}{
+		{"unknown", map[string]float64{"zap": 1}},
+		{"nan", map[string]float64{"rate": math.NaN()}},
+		{"inf", map[string]float64{"rate": math.Inf(1)}},
+		{"fractional int", map[string]float64{"window": 1.5}},
+		{"non-bool", map[string]float64{"enabled": 2}},
+		{"out of bounds", map[string]float64{"rate": 1.5}},
+	}
+	for _, tc := range cases {
+		_, err := Apply(knobs{}, tc.p, schemas())
+		pe, ok := err.(*Error)
+		if !ok || pe.Param == "" {
+			t.Errorf("%s: error %v, want *Error naming the parameter", tc.name, err)
+		}
+	}
+	// The first error is deterministic: sorted parameter order.
+	_, err := Apply(knobs{}, map[string]float64{"window": 1.5, "enabled": 2}, schemas())
+	if pe, ok := err.(*Error); !ok || pe.Param != "enabled" {
+		t.Errorf("multi-error apply reported %v, want the alphabetically first", err)
+	}
+}

@@ -4,11 +4,11 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"sync"
 
 	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/spec"
 )
 
 // Journal is an append-only JSONL record of finished runs that makes a
@@ -50,19 +50,17 @@ type journalRecord struct {
 }
 
 // Fingerprint identifies everything about a Spec that determines its
-// outcomes: the series identity, repetition plan, seeds, system size, and
-// the concrete protocol/adversary values (via their printed struct
-// representations, which capture tuning fields that Name() omits).
+// outcomes: the series identity, repetition plan, seeds, and the
+// outcome-determining content of the base configuration. It delegates to
+// spec.SeriesFingerprint — the codebase's single fingerprint
+// implementation, shared with the result cache and the golden matrices —
+// which encodes registry-typed configurations canonically and falls back
+// to printed struct representations for custom protocol/adversary types.
 // Outcome-neutral knobs — Workers, Trace, Sample, progress — are
 // deliberately excluded, so a journal written at -workers 8 resumes
 // cleanly at -workers 1.
 func Fingerprint(s Spec) string {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d|%d|%d|%d|%d|%d",
-		s.Name, s.Runs, s.BaseSeed, s.Base.N, s.Base.F, s.Base.Horizon, s.Base.MaxEvents)
-	fmt.Fprintf(h, "|%T%+v", s.Base.Protocol, s.Base.Protocol)
-	fmt.Fprintf(h, "|%T%+v", s.Base.Adversary, s.Base.Adversary)
-	return fmt.Sprintf("%016x", h.Sum64())
+	return spec.SeriesFingerprint(s.Name, s.Runs, s.BaseSeed, s.Base)
 }
 
 // OpenJournal opens (or creates) the journal at path. With resume set,
@@ -189,9 +187,23 @@ func (j *Journal) Close() error {
 
 // Remove closes the journal and deletes its file — called after a sweep
 // completes cleanly, when there is nothing left to resume.
+//
+// The deletion goes through a rename first (the same advisory path torn-
+// tail handling takes): a concurrent -resume reader that already opened
+// the file keeps reading its complete contents through the open
+// descriptor, and a reader that races the deletion sees either the intact
+// journal or a clean not-exist — never a half-deleted file reused by an
+// unrelated journal at the same path.
 func (j *Journal) Remove() error {
 	if err := j.Close(); err != nil {
 		return err
 	}
-	return os.Remove(j.path)
+	tomb := j.path + ".removed"
+	if err := os.Rename(j.path, tomb); err != nil {
+		if os.IsNotExist(err) {
+			return nil // already removed; nothing to resume either way
+		}
+		return err
+	}
+	return os.Remove(tomb)
 }

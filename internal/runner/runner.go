@@ -282,7 +282,7 @@ func ExecuteContext(ctx context.Context, specs []Spec, opts Options) ([]Result, 
 							faultMu.Lock()
 							results[j.spec].Errors = append(results[j.spec].Errors, re)
 							faultMu.Unlock()
-							results[j.spec].Outcomes[j.run] = failedOutcome(cfg)
+							results[j.spec].Outcomes[j.run] = FailedOutcome(cfg)
 						} else {
 							results[j.spec].Outcomes[j.run] = o
 						}
@@ -292,55 +292,34 @@ func ExecuteContext(ctx context.Context, specs []Spec, opts Options) ([]Result, 
 				}
 				cfg.Cancel = ctx.Done()
 				cfg.MaxWall = opts.MaxWall
-				var sink sim.TraceSink
+				var sinkFn func() sim.TraceSink
 				if opts.Trace != nil {
-					sink = opts.Trace(spec, j.run)
-					cfg.Trace = sink
+					run := j.run
+					sinkFn = func() sim.TraceSink { return opts.Trace(spec, run) }
 				}
-				o, err, pan, stack := runOnce(cfg)
-				if pan != nil {
-					// Same-seed retry: a run is a pure function of its
-					// Config, so a second panic classifies the fault as
-					// deterministic; a completed retry means the first
-					// failure was environmental and the run is recovered.
-					re := &RunError{
-						Spec: spec.Name, Run: j.run, Seed: cfg.Seed,
-						Panic: fmt.Sprint(pan), Stack: string(stack),
-					}
-					if sink != nil {
-						// A fresh sink for the retry, so the trace holds one
-						// complete attempt rather than two interleaved ones.
-						closeSink(sink)
-						sink = opts.Trace(spec, j.run)
-						cfg.Trace = sink
-					}
-					o, err, pan, _ = runOnce(cfg)
-					if pan != nil {
-						re.Deterministic = true
+				o, re, err := Attempt(cfg, spec.Name, j.run, sinkFn)
+				if err != nil {
+					fail(fmt.Errorf("runner: spec %q run %d: %w", spec.Name, j.run, err))
+					continue
+				}
+				if re != nil {
+					if re.Deterministic {
 						failedCt.Add(1)
 						update.Err = re
 						faultMu.Lock()
 						results[j.spec].Errors = append(results[j.spec].Errors, re)
 						faultMu.Unlock()
-						results[j.spec].Outcomes[j.run] = failedOutcome(cfg)
+						results[j.spec].Outcomes[j.run] = o
 						if opts.Journal != nil {
 							opts.Journal.Record(spec, j.run, nil, re)
 						}
-						closeSink(sink)
 						finish(update)
 						continue
 					}
-					if err == nil {
-						flakyCt.Add(1)
-						faultMu.Lock()
-						results[j.spec].Flaky = append(results[j.spec].Flaky, re)
-						faultMu.Unlock()
-					}
-				}
-				closeSink(sink)
-				if err != nil {
-					fail(fmt.Errorf("runner: spec %q run %d: %w", spec.Name, j.run, err))
-					continue
+					flakyCt.Add(1)
+					faultMu.Lock()
+					results[j.spec].Flaky = append(results[j.spec].Flaky, re)
+					faultMu.Unlock()
 				}
 				results[j.spec].Outcomes[j.run] = o
 				if opts.Journal != nil && !o.Cancelled {
@@ -372,6 +351,58 @@ func ExecuteContext(ctx context.Context, specs []Spec, opts Options) ([]Result, 
 	return results, nil
 }
 
+// Attempt executes one run with the pool's fault-isolation semantics,
+// outside any pool — the primitive the worker loop and the sweep
+// service's lease executor share, so a run leased over HTTP fails and
+// retries exactly like a local one.
+//
+// A panic anywhere in the protocol/adversary/engine stack triggers one
+// same-seed retry: a run is a pure function of its Config, so a second
+// panic classifies the fault as deterministic (the returned outcome is
+// the FailedOutcome placeholder and re.Deterministic is set), while a
+// completed retry means the failure was environmental — the retry's
+// outcome is returned alongside a non-deterministic re recording the
+// incident. sink, when non-nil, supplies a fresh trace sink per attempt
+// (a retry never appends to the first attempt's trace); sinks that
+// implement io.Closer are closed when their attempt finishes. A non-nil
+// err is a configuration error: the spec itself is wrong, and every
+// sibling run would fail identically.
+func Attempt(cfg sim.Config, specName string, run int, sink func() sim.TraceSink) (o sim.Outcome, re *RunError, err error) {
+	var s sim.TraceSink
+	if sink != nil {
+		s = sink()
+		cfg.Trace = s
+	}
+	o, err, pan, stack := runOnce(cfg)
+	if pan != nil {
+		re = &RunError{
+			Spec: specName, Run: run, Seed: cfg.Seed,
+			Panic: fmt.Sprint(pan), Stack: string(stack),
+		}
+		if s != nil {
+			closeSink(s)
+			s = sink()
+			cfg.Trace = s
+		}
+		o, err, pan, _ = runOnce(cfg)
+		if pan != nil {
+			re.Deterministic = true
+			closeSink(s)
+			return FailedOutcome(cfg), re, nil
+		}
+		if err != nil {
+			// The retry surfaced a configuration error; the panic record is
+			// moot — the batch aborts on err.
+			re = nil
+		}
+	}
+	closeSink(s)
+	if err != nil {
+		return sim.Outcome{}, nil, err
+	}
+	return o, re, nil
+}
+
 // closeSink closes a per-run trace sink if it is closable (file-backed
 // JSONL sinks are; in-memory recorders are not). Close errors are
 // deliberately non-fatal: tracing is observability, it never takes a run's
@@ -395,10 +426,12 @@ func runOnce(cfg sim.Config) (o sim.Outcome, err error, pan any, stack []byte) {
 	return
 }
 
-// failedOutcome is the placeholder stored in a failed run's Outcomes slot:
-// HorizonHit is set so every cutoff-aware statistic (medians, rates, fits)
-// skips the slot without special-casing failures.
-func failedOutcome(cfg sim.Config) sim.Outcome {
+// FailedOutcome is the placeholder stored in a failed run's Outcomes
+// slot: HorizonHit is set so every cutoff-aware statistic (medians,
+// rates, fits) skips the slot without special-casing failures. Exported
+// so the sweep service synthesizes the identical placeholder for runs
+// whose cached record is a deterministic RunError.
+func FailedOutcome(cfg sim.Config) sim.Outcome {
 	o := sim.Outcome{N: cfg.N, F: cfg.F, Seed: cfg.Seed, Adversary: "none", HorizonHit: true}
 	if cfg.Protocol != nil {
 		o.Protocol = cfg.Protocol.Name()

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/spec"
+)
+
+// smokeGrid is the CI service-smoke sweep: 40 configurations crossing
+// protocols, adversaries, sizes, and seeds — wide enough to exercise the
+// lease queue under two workers, small enough to finish in seconds.
+func smokeGrid() []spec.Spec {
+	var grid []spec.Spec
+	for _, proto := range []string{"push-pull", "push", "ears", "sears"} {
+		for _, adv := range []string{"", "ugf"} {
+			for _, n := range []int{10, 14} {
+				for seed := uint64(1); seed <= 5; seed += 2 {
+					if len(grid) == 40 {
+						return grid
+					}
+					grid = append(grid, spec.Spec{
+						Protocol: proto, Adversary: adv,
+						N: n, F: n / 4, Seed: seed,
+					})
+				}
+			}
+		}
+	}
+	return grid
+}
+
+// TestServiceSmoke is the CI service-smoke job: a coordinator with two
+// in-process workers runs a 40-config sweep submitted twice (the second
+// submission rides entirely on in-flight dedup), the distributed results
+// match serial execution byte for byte, and a post-completion resubmit is
+// served 100% from the cache with zero recomputation.
+func TestServiceSmoke(t *testing.T) {
+	grid := smokeGrid()
+	if len(grid) != 40 {
+		t.Fatalf("smoke grid has %d configs, want 40", len(grid))
+	}
+
+	// Serial reference: every spec through the blessed Config path,
+	// straight into sim.Run.
+	serial := make([]sim.Outcome, len(grid))
+	for i, sp := range grid {
+		cfg, err := sp.Config()
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		o, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		serial[i] = o.StripWall()
+	}
+
+	// Coordinator over real HTTP; everything below speaks the job API.
+	coord := NewCoordinator(Options{})
+	srv := httptest.NewServer(NewServer(coord))
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	// Submit twice before any worker exists: the second sweep must share
+	// every in-flight task with the first.
+	a, err := client.Submit(SweepRequest{Name: "smoke-a", Specs: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := client.Submit(SweepRequest{Name: "smoke-b", Specs: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.DedupHits != len(grid) {
+		t.Fatalf("second submission dedup hits = %d, want %d", b.DedupHits, len(grid))
+	}
+
+	stop := startWorkers(t, client, 2)
+	defer stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for _, id := range []string{a.ID, b.ID} {
+		got := make([]sim.Outcome, len(grid))
+		if err := client.Stream(ctx, id, 0, func(ev ResultEvent) error {
+			if ev.Failed() {
+				t.Errorf("sweep %s spec %d failed: %+v", id, ev.Index, ev.Err)
+				return nil
+			}
+			got[ev.Index] = ev.Outcome.StripWall()
+			return nil
+		}); err != nil {
+			t.Fatalf("sweep %s: %v", id, err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("sweep %s diverged from serial execution", id)
+			continue
+		}
+		sj, _ := json.Marshal(serial)
+		gj, _ := json.Marshal(got)
+		if string(sj) != string(gj) {
+			t.Errorf("sweep %s: serialized outcomes differ from serial execution", id)
+		}
+	}
+	if ct := coord.Counters(); ct.Computed != len(grid) {
+		t.Errorf("computed %d distinct runs, want %d", ct.Computed, len(grid))
+	}
+
+	// Resubmission after completion: zero recomputation, all cache.
+	before := coord.Counters()
+	c, err := client.Submit(SweepRequest{Name: "smoke-c", Specs: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CacheHits != len(grid) {
+		t.Fatalf("resubmit cache hits = %d, want %d", c.CacheHits, len(grid))
+	}
+	st, err := client.Status(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Finished || st.Done != len(grid) {
+		t.Errorf("resubmitted sweep not instantly finished: %+v", st)
+	}
+	if after := coord.Counters(); after.Computed != before.Computed {
+		t.Errorf("resubmit recomputed %d runs", after.Computed-before.Computed)
+	}
+}

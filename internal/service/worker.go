@@ -1,0 +1,100 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/ugf-sim/ugf/internal/runner"
+)
+
+// Backend is the worker's view of a coordinator: lease runs, report
+// results. Coordinator implements it in-process; Client implements it
+// over HTTP — a worker cannot tell the difference.
+type Backend interface {
+	// Acquire blocks until a run is available or ctx ends; (nil, nil)
+	// means ctx ended with nothing to do.
+	Acquire(ctx context.Context) (*Lease, error)
+	// Complete reports a leased run's result.
+	Complete(leaseID string, res CompleteRequest) error
+}
+
+// WorkerOptions parameterizes RunWorker.
+type WorkerOptions struct {
+	// Concurrency is the number of runs executed at once (≤ 0: 1).
+	Concurrency int
+	// Poll bounds one Acquire long-poll (default 10s); between polls the
+	// worker checks ctx and retries, so a worker pointed at an idle
+	// coordinator just waits for work.
+	Poll time.Duration
+	// OnRun, when non-nil, observes each completed lease (after Complete
+	// was attempted). Called from worker goroutines.
+	OnRun func(lease *Lease, res CompleteRequest)
+}
+
+// RunWorker executes leased runs against a backend until ctx is
+// cancelled: acquire, run with the pool's exact fault-isolation semantics
+// (runner.Attempt — same-seed retry, deterministic/environmental
+// classification), complete, repeat. It returns ctx.Err() on shutdown;
+// transient backend errors (a coordinator restarting, say) back the
+// worker off rather than killing it.
+func RunWorker(ctx context.Context, b Backend, opts WorkerOptions) error {
+	workers := opts.Concurrency
+	if workers <= 0 {
+		workers = 1
+	}
+	poll := opts.Poll
+	if poll <= 0 {
+		poll = 10 * time.Second
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				pollCtx, cancel := context.WithTimeout(ctx, poll)
+				lease, err := b.Acquire(pollCtx)
+				cancel()
+				if err != nil {
+					// Backend trouble: back off and retry until ctx ends.
+					select {
+					case <-ctx.Done():
+					case <-time.After(time.Second):
+					}
+					continue
+				}
+				if lease == nil {
+					continue // idle poll; loop re-checks ctx
+				}
+				res := executeLease(ctx, lease)
+				b.Complete(lease.ID, res)
+				if opts.OnRun != nil {
+					opts.OnRun(lease, res)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// executeLease runs one leased spec through the runner's attempt
+// primitive. The spec was validated at submit time, so a build failure
+// here is version skew between worker and coordinator — reported as a
+// ConfigError, which the coordinator treats as deterministic.
+func executeLease(ctx context.Context, lease *Lease) CompleteRequest {
+	cfg, err := lease.Spec.Config()
+	if err != nil {
+		return CompleteRequest{ConfigError: err.Error()}
+	}
+	cfg.Cancel = ctx.Done()
+	o, re, err := runner.Attempt(cfg, lease.Fingerprint, 0, nil)
+	if err != nil {
+		return CompleteRequest{ConfigError: err.Error()}
+	}
+	if re != nil && re.Deterministic {
+		return CompleteRequest{Err: re}
+	}
+	return CompleteRequest{Outcome: &o, Err: re}
+}
