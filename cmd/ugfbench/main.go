@@ -146,6 +146,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	topo, err := common.Topology()
+	if err != nil {
+		return err
+	}
 	if *debugAddr != "" {
 		ln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
@@ -251,7 +255,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cfg := experiments.Config{
 			Fidelity: fid, Workers: *workers, Shards: common.Shards, BaseSeed: *seed,
 			Context: ctx, MaxWall: *maxwall,
-			Faults: faultPlan, StallWindow: common.StallWindow,
+			Faults: faultPlan, StallWindow: common.StallWindow, Topology: topo,
+			MaxEvents: common.MaxEvents,
 		}
 		if *coordURL != "" {
 			client := service.NewClient(*coordURL)
@@ -418,6 +423,10 @@ func renderStats(w io.Writer, rep *experiments.Report) {
 	if s.DroppedLink != 0 || s.DupDeliveries != 0 || s.CorruptDrops != 0 {
 		fmt.Fprintf(w, "  faults:    %d dropped on links, %d duplicate deliveries, %d corrupt discards\n",
 			s.DroppedLink, s.DupDeliveries, s.CorruptDrops)
+	}
+	if s.BlockedSends != 0 || s.TopologyRewrites != 0 {
+		fmt.Fprintf(w, "  topology:  %d sends blocked off-graph, %d edge rewrites\n",
+			s.BlockedSends, s.TopologyRewrites)
 	}
 	fmt.Fprintf(w, "  pressure:  max %d in flight, max %d pending in mailboxes\n",
 		s.MaxInFlight, s.MaxPending)

@@ -73,7 +73,8 @@ func run(args []string, out io.Writer) error {
 	if *specArg != "" {
 		replaced := map[string]bool{
 			"protocol": true, "adversary": true, "n": true, "f": true, "seed": true,
-			"faults": true, "stall-window": true, "stallwindow": true,
+			"faults": true, "topology": true, "stall-window": true, "stallwindow": true,
+			"max-events": true,
 		}
 		var conflict string
 		fs.Visit(func(fl *flag.Flag) {
@@ -126,9 +127,14 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		topo, err := common.Topology()
+		if err != nil {
+			return err
+		}
 		cfg = ugf.Config{
 			N: *n, F: budget, Protocol: proto, Adversary: adv, Seed: *seed,
-			Faults: plan, StallWindow: common.StallWindow,
+			Faults: plan, Topology: topo, StallWindow: common.StallWindow,
+			MaxEvents: common.MaxEvents,
 		}
 		seriesName = *protoName + "/" + *advName
 	}
@@ -275,6 +281,10 @@ func printStats(w io.Writer, s ugf.Stats) {
 	if s.DroppedLink != 0 || s.DupDeliveries != 0 || s.CorruptDrops != 0 {
 		fmt.Fprintf(w, "  faults:    %d dropped on links, %d duplicate deliveries, %d corrupt discards\n",
 			s.DroppedLink, s.DupDeliveries, s.CorruptDrops)
+	}
+	if s.BlockedSends != 0 || s.TopologyRewrites != 0 {
+		fmt.Fprintf(w, "  topology:  %d sends blocked off-graph, %d edge rewrites\n",
+			s.BlockedSends, s.TopologyRewrites)
 	}
 	for _, kc := range s.MessagesByKind {
 		fmt.Fprintf(w, "             %s×%d\n", kc.Kind, kc.Count)

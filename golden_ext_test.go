@@ -34,6 +34,10 @@ type goldenExtCase struct {
 	// byte-identical (Outcome's fault fields are omitempty).
 	faults      string // ParseFaultPlan spec, "" for none
 	stallWindow int64  // Config.StallWindow (events), 0 for off
+	// PR 9 topology columns; zero values leave pre-topology cases
+	// byte-identical (complete graph, no event cutoff).
+	topology  string // ParseTopology spec, "" for complete
+	maxEvents int64  // Config.MaxEvents, 0 for unbounded
 }
 
 // goldenExtMatrix crosses the under-covered protocols with the
@@ -104,6 +108,31 @@ func goldenExtMatrix() []goldenExtCase {
 		goldenExtCase{proto: "round-robin", adv: "crash-recovery", n: 24, f: 8, statsEvery: 8,
 			faults: "dup=0.1,seed=16", stallWindow: 4096},
 	)
+	// PR 9 appendix: the communication-graph corners — sparse topologies
+	// (ring, k-regular, seeded expander, bounded-degree radio) under the
+	// budgeted rewire adversary, the partition adversary, and lossy links.
+	// Every case sets both a stall window and an event cutoff: sparse
+	// graphs can make gathering impossible while neighbor traffic keeps
+	// the stall signature moving, so MaxEvents is the hard bound the
+	// hashes pin (HorizonHit paths included).
+	cases = append(cases,
+		goldenExtCase{proto: "push-pull", adv: "rewire", n: 32, f: 10, statsEvery: 16,
+			topology: "ring", stallWindow: 4096, maxEvents: 20000},
+		goldenExtCase{proto: "ears", adv: "rewire", n: 32, f: 10, statsEvery: 0,
+			topology: "k-regular,k=4", stallWindow: 4096, maxEvents: 20000},
+		goldenExtCase{proto: "push", adv: "partition", n: 24, f: 8, statsEvery: 8,
+			topology: "ring", stallWindow: 4096, maxEvents: 16000},
+		goldenExtCase{proto: "round-robin", adv: "rewire", n: 24, f: 8, statsEvery: 0,
+			topology: "expander,k=4,seed=7", stallWindow: 4096, maxEvents: 16000},
+		goldenExtCase{proto: "sears", adv: "none", n: 32, f: 10, statsEvery: 16,
+			topology: "radio,k=3,seed=9", stallWindow: 4096, maxEvents: 20000},
+		goldenExtCase{proto: "push-pull", adv: "partition", n: 32, f: 10, statsEvery: 16,
+			faults: "drop=0.1,seed=17", topology: "k-regular,k=6", stallWindow: 8192, maxEvents: 24000},
+		goldenExtCase{proto: "ears", adv: "rewire", n: 24, f: 8, statsEvery: 8,
+			topology: "radio,k=2,seed=21", stallWindow: 4096, maxEvents: 16000},
+		goldenExtCase{proto: "push-pull", adv: "rewire", n: 48, f: 16, statsEvery: 32,
+			topology: "expander,k=6,seed=5", stallWindow: 8192, maxEvents: 32000},
+	)
 	return cases
 }
 
@@ -121,6 +150,10 @@ func goldenExtConfig(t testing.TB, c goldenExtCase, idx, workers int) ugf.Config
 	if err != nil {
 		t.Fatalf("fault spec %q: %v", c.faults, err)
 	}
+	topo, err := ugf.ParseTopology(c.topology)
+	if err != nil {
+		t.Fatalf("topology spec %q: %v", c.topology, err)
+	}
 	return ugf.Config{
 		N: c.n, F: c.f, Protocol: proto, Adversary: adv,
 		Seed:           uint64(5000 + idx),
@@ -129,6 +162,8 @@ func goldenExtConfig(t testing.TB, c goldenExtCase, idx, workers int) ugf.Config
 		KeepPerProcess: true,
 		Faults:         fp,
 		StallWindow:    c.stallWindow,
+		Topology:       topo,
+		MaxEvents:      c.maxEvents,
 	}
 }
 
@@ -184,6 +219,9 @@ func TestGoldenExtPrint(t *testing.T) {
 		}
 		if c.stallWindow != 0 {
 			note += fmt.Sprintf(" stallWindow=%d", c.stallWindow)
+		}
+		if c.topology != "" {
+			note += fmt.Sprintf(" topology=%s maxEvents=%d", c.topology, c.maxEvents)
 		}
 		fmt.Printf("\t%q, // %d: %s/%s N=%d F=%d statsEvery=%d%s\n",
 			outcomeHash(t, o), i, c.proto, c.adv, c.n, c.f, c.statsEvery, note)
@@ -250,4 +288,12 @@ var goldenExtHashes = []string{
 	"0edd4204c1c322e7", // 55: round-robin/partition N=24 F=8 statsEvery=0 faults=drop=0.05,seed=15 stallWindow=8192
 	"2b717ecebb5ef967", // 56: push-pull/crash-recovery N=32 F=10 statsEvery=16 stallWindow=4096
 	"98e5fbdbbee326d3", // 57: round-robin/crash-recovery N=24 F=8 statsEvery=8 faults=dup=0.1,seed=16 stallWindow=4096
+	"3d5268169320819e", // 58: push-pull/rewire N=32 F=10 statsEvery=16 stallWindow=4096 topology=ring maxEvents=20000
+	"dfc74adb77bb9a1a", // 59: ears/rewire N=32 F=10 statsEvery=0 stallWindow=4096 topology=k-regular,k=4 maxEvents=20000
+	"af17247b722ee12d", // 60: push/partition N=24 F=8 statsEvery=8 stallWindow=4096 topology=ring maxEvents=16000
+	"b3bef915ab95f8a3", // 61: round-robin/rewire N=24 F=8 statsEvery=0 stallWindow=4096 topology=expander,k=4,seed=7 maxEvents=16000
+	"50da236ddd966a99", // 62: sears/none N=32 F=10 statsEvery=16 stallWindow=4096 topology=radio,k=3,seed=9 maxEvents=20000
+	"f987f15839e45b82", // 63: push-pull/partition N=32 F=10 statsEvery=16 faults=drop=0.1,seed=17 stallWindow=8192 topology=k-regular,k=6 maxEvents=24000
+	"b320c4a7e83e6f52", // 64: ears/rewire N=24 F=8 statsEvery=8 stallWindow=4096 topology=radio,k=2,seed=21 maxEvents=16000
+	"a25a02a62eac51a9", // 65: push-pull/rewire N=48 F=16 statsEvery=32 stallWindow=8192 topology=expander,k=6,seed=5 maxEvents=32000
 }

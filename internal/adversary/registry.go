@@ -142,7 +142,7 @@ func Extract(a sim.Adversary) (name string, overrides map[string]float64, ok boo
 var names = []string{
 	"none", "ugf", "ugf-sampled",
 	"strategy-1", "strategy-2.1.0", "strategy-2.1.1",
-	"oblivious", "omission", "partition", "crash-recovery",
+	"oblivious", "omission", "partition", "crash-recovery", "rewire",
 }
 
 // advBounds constrains the parameters whose domains the adversary
@@ -164,6 +164,9 @@ var advBounds = params.Bounds{
 	"gap":         {0, 1 << 50},
 	"cycles":      {0, 1 << 31},
 	"downtime":    {0, 1 << 50},
+	"budget":      {0, 1 << 31},
+	"perround":    {0, 1 << 31},
+	"drop":        {0, 1},
 }
 
 // registry maps names to configured entries. The strategy keys name the
@@ -192,4 +195,9 @@ func init() {
 	// permanent=1).
 	register((Partition{}).Name(), Partition{})
 	register((CrashRecovery{}).Name(), CrashRecovery{})
+	// The registry rewire keeps Drop = 0 (edge-count-preserving), so
+	// property sweeps over registry names stay likely to terminate even
+	// on sparse topologies; dropping instances are built directly or via
+	// Build with a drop override.
+	register((Rewire{}).Name(), Rewire{})
 }

@@ -1,0 +1,114 @@
+package adversary
+
+import (
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+// Rewire is the oblivious dynamic-network adversary: every Window active
+// steps it spends part of a fixed edge-edit budget mutating the
+// communication graph, replacing live edges with fresh ones
+// (Control.RewireEdges) or — with probability Drop — deleting them
+// outright. It is oblivious in the Definition II.5 sense: every choice is
+// drawn from its private stream and the graph state it has itself shaped,
+// never from the execution (no send records, no process state). Pure
+// removals can disconnect the graph, so runs under a dropping Rewire
+// should set Config.StallWindow (and, defensively, Config.MaxEvents);
+// the default rewire-only instance preserves the edge count.
+type Rewire struct {
+	// Budget bounds the topology rewrites spent, counted exactly as
+	// Stats.TopologyRewrites counts them: a removal costs one, a
+	// successful rewire two. 0 means N.
+	Budget int
+	// Window is how many active steps separate rewiring rounds (0 means 8).
+	Window sim.Step
+	// PerRound is how many moves each round attempts (0 means 1). Moves
+	// the graph refuses (rewire target already adjacent, no live edge at
+	// the chosen process) still consume the attempt, not the budget.
+	PerRound int
+	// Drop is the probability a move deletes its edge instead of rewiring
+	// it. The default 0 keeps the graph's edge count invariant.
+	Drop float64
+}
+
+// Name implements sim.Adversary.
+func (Rewire) Name() string { return "rewire" }
+
+// New implements sim.Adversary.
+func (a Rewire) New(n, f int, rng *xrand.RNG) sim.AdversaryInstance {
+	budget, window, perRound := a.Budget, a.Window, a.PerRound
+	if budget == 0 {
+		budget = n
+	}
+	if window == 0 {
+		window = 8
+	}
+	if perRound == 0 {
+		perRound = 1
+	}
+	return &rewireInstance{
+		n: n, budget: budget, window: window, perRound: perRound,
+		drop: a.Drop, rng: rng,
+	}
+}
+
+type rewireInstance struct {
+	n        int
+	budget   int
+	window   sim.Step
+	perRound int
+	drop     float64
+	rng      *xrand.RNG
+
+	next  sim.Step // first step at/after which the next round runs
+	spent int      // topology rewrites consumed so far
+}
+
+func (a *rewireInstance) Init(view sim.View, ctl sim.Control) {}
+
+// Observe runs one rewiring round every Window active steps until the
+// budget is gone. Rounds are timed against observed steps, like the
+// partition adversary's phases: the engine skips inert steps, and an edge
+// edit during one would be unobservable anyway.
+func (a *rewireInstance) Observe(now sim.Step, _ []sim.SendRecord, view sim.View, ctl sim.Control) {
+	if a.spent >= a.budget || now < a.next || a.n < 3 {
+		return
+	}
+	a.next = now + a.window
+	for i := 0; i < a.perRound && a.spent < a.budget; i++ {
+		p := sim.ProcID(a.rng.Intn(a.n))
+		b, ok := a.liveNeighbor(p, view)
+		if !ok {
+			continue // p is isolated; the attempt is spent, the budget is not
+		}
+		if a.rng.Bernoulli(a.drop) {
+			if ctl.RemoveEdge(p, b) {
+				a.spent++
+			}
+			continue
+		}
+		to := sim.ProcID(a.rng.IntnExcept(a.n, int(p)))
+		if ctl.RewireEdges(p, b, to) {
+			a.spent += 2
+		}
+	}
+}
+
+// liveNeighbor finds a live neighbor of p by scanning the membership from
+// a random start, so sparse and complete graphs pay the same bounded cost
+// and the draw order stays a pure function of the private stream.
+func (a *rewireInstance) liveNeighbor(p sim.ProcID, view sim.View) (sim.ProcID, bool) {
+	start := a.rng.Intn(a.n)
+	for k := 0; k < a.n; k++ {
+		q := sim.ProcID((start + k) % a.n)
+		if q == p {
+			continue
+		}
+		if view.EdgeLive(p, q) {
+			return q, true
+		}
+	}
+	return 0, false
+}
+
+func (a *rewireInstance) Label() string { return "" }

@@ -22,11 +22,13 @@ import (
 // Common holds the flag values shared by both CLIs. Register binds them;
 // the zero value of every field is the flag's default.
 type Common struct {
-	Stats       bool   // -stats: print aggregated engine statistics
-	TraceKinds  string // -trace-kinds: comma-separated trace kind filter
-	Faults      string // -faults: link-fault plan overlay
-	StallWindow int64  // -stall-window: events without progress before declaring a stall
-	Shards      int    // -shards: commit shards inside each run
+	Stats        bool   // -stats: print aggregated engine statistics
+	TraceKinds   string // -trace-kinds: comma-separated trace kind filter
+	Faults       string // -faults: link-fault plan overlay
+	TopologySpec string // -topology: communication-graph topology
+	StallWindow  int64  // -stall-window: events without progress before declaring a stall
+	MaxEvents    int64  // -max-events: hard event cutoff per run
+	Shards       int    // -shards: commit shards inside each run
 
 	deprecated map[string]string // alias → canonical, for the post-Parse warning
 }
@@ -37,9 +39,11 @@ type Common struct {
 func (c *Common) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&c.Stats, "stats", false, "print aggregated engine statistics")
 	fs.StringVar(&c.Faults, "faults", "", "overlay a link-fault plan on every run, e.g. drop=0.1,dup=0.05,seed=7 (empty: no faults)")
+	fs.StringVar(&c.TopologySpec, "topology", "", "communication-graph topology: complete|ring|k-regular,k=K|expander,k=K,seed=S|radio,k=K,seed=S (empty: complete)")
 	fs.IntVar(&c.Shards, "shards", 0, "commit shards inside each run (0: serial commits; outcomes identical)")
 	fs.StringVar(&c.TraceKinds, "trace-kinds", "", "comma-separated trace kinds to keep when tracing (default: all): send,arrive,step,crash,sleep,wake,adversary,end,recover,drop")
 	fs.Int64Var(&c.StallWindow, "stall-window", 0, "overlay a stall window: declare a stall after this many events without progress (0: off)")
+	fs.Int64Var(&c.MaxEvents, "max-events", 0, "overlay a hard per-run event cutoff (0: none); pair with -stall-window on sparse topologies")
 
 	// Deprecated aliases: the same variable bound under the old spelling,
 	// so either name works and the last one on the command line wins.
@@ -68,6 +72,9 @@ func (c *Common) Validate(traceActive bool) error {
 	if c.StallWindow < 0 {
 		return fmt.Errorf("stall-window = %d, need ≥ 0", c.StallWindow)
 	}
+	if c.MaxEvents < 0 {
+		return fmt.Errorf("max-events = %d, need ≥ 0", c.MaxEvents)
+	}
 	if c.Shards < 0 {
 		return fmt.Errorf("shards = %d, need ≥ 0", c.Shards)
 	}
@@ -86,6 +93,12 @@ func (c *Common) KindMask() (sim.KindMask, error) {
 // FaultPlan parses the -faults value; empty input yields a nil plan.
 func (c *Common) FaultPlan() (*sim.FaultPlan, error) {
 	return sim.ParseFaultPlan(c.Faults)
+}
+
+// Topology parses the -topology value; empty input yields nil (the
+// complete graph).
+func (c *Common) Topology() (*sim.Topology, error) {
+	return sim.ParseTopology(c.TopologySpec)
 }
 
 // ParseKindMask converts a comma-separated trace-kind list into a kind

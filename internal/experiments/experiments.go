@@ -106,6 +106,15 @@ type Config struct {
 	// terminate with classified Stalled outcomes instead of spinning to
 	// the event horizon.
 	StallWindow int64
+	// Topology, when non-nil, overlays a communication graph on every spec
+	// that does not set its own (ugfbench -topology). Experiments that
+	// sweep topologies themselves keep their per-spec graphs.
+	Topology *sim.Topology
+	// MaxEvents, when > 0, overlays a hard event cutoff on every spec that
+	// does not set its own (ugfbench -max-events) — the termination bound
+	// to pair with StallWindow on sparse topologies, where neighbor
+	// traffic can keep the stall signature moving forever.
+	MaxEvents int64
 	// Exec, when non-nil, replaces runner.ExecuteContext as the batch
 	// executor — ugfbench -coord plugs the sweep service's remote executor
 	// in here. Implementations must honor the runner.Result contract
@@ -197,6 +206,7 @@ var canonicalOrder = map[string]int{
 	"example1": 5, "lemma45": 6, "lemma1": 7, "tradeoff": 8,
 	"fsweep": 9, "strategies": 10, "oblivious": 11,
 	"adaptation": 12, "omission": 13, "tuning": 14, "degradation": 15,
+	"topology": 16,
 }
 
 // All returns every experiment in the paper's presentation order;
@@ -255,6 +265,12 @@ func execute(rep *Report, cfg Config, specs []runner.Spec) ([]runner.Result, err
 		}
 		if cfg.StallWindow > 0 && specs[i].Base.StallWindow == 0 {
 			specs[i].Base.StallWindow = cfg.StallWindow
+		}
+		if cfg.Topology != nil && specs[i].Base.Topology == nil {
+			specs[i].Base.Topology = cfg.Topology
+		}
+		if cfg.MaxEvents > 0 && specs[i].Base.MaxEvents == 0 {
+			specs[i].Base.MaxEvents = cfg.MaxEvents
 		}
 	}
 	exec := cfg.Exec

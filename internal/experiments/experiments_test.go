@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3a", "fig3b", "fig3c", "fig3d", "fig3e",
 		"example1", "lemma45", "lemma1", "tradeoff",
 		"fsweep", "strategies", "oblivious", "adaptation", "omission",
-		"tuning", "degradation",
+		"tuning", "degradation", "topology",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

@@ -120,8 +120,8 @@ type earsProc struct {
 	snapInts  []int32
 	plBox     sim.Payload // current boxed *earsPayload, reused until dirty
 	verDirty  bool
-	replyTo  []sim.ProcID // anti-entropy reply targets of the current step
-	quiet    int          // local steps without new information
+	replyTo   []sim.ProcID // anti-entropy reply targets of the current step
+	quiet     int          // local steps without new information
 	// quorum is the completion threshold N−F: the process may not stop
 	// before that many processes (itself included) are evidenced to know
 	// its own gossip. cnt[ID] is exactly the evidence count.

@@ -87,6 +87,14 @@ type System interface {
 	SetClass(p ProcID, c int)
 	DropLink(from, to ProcID)
 	HealLink(from, to ProcID)
+	// EdgeLive reports whether the undirected communication-graph edge
+	// (a, b) is live (always true without a topology or edge edits).
+	// AddEdge/RemoveEdge rewire the graph, reporting whether it changed;
+	// changes count in Stats.TopologyRewrites. All three panic on
+	// out-of-range processes.
+	EdgeLive(a, b ProcID) bool
+	AddEdge(a, b ProcID) bool
+	RemoveEdge(a, b ProcID) bool
 }
 
 // View is the adversary's read-only window onto the system state P_t.
@@ -127,6 +135,12 @@ func (v View) Delay(p ProcID) Step { return v.sys.Delay(p) }
 
 // CorrectCount returns the number of processes that have not crashed.
 func (v View) CorrectCount() int { return v.sys.NumProcs() - v.sys.CrashCount() }
+
+// EdgeLive reports whether the undirected communication-graph edge
+// (a, b) is live: a send either way across a dead edge is blocked at
+// send time. Without a Config.Topology (and before any edge edits)
+// every pair is connected.
+func (v View) EdgeLive(a, b ProcID) bool { return v.sys.EdgeLive(a, b) }
 
 // Control is the adversary's write access to the system: crashes and
 // delay rewrites. It enforces the crash budget F.
@@ -183,6 +197,31 @@ func (c Control) DropLink(from, to ProcID) { c.sys.DropLink(from, to) }
 
 // HealLink restores the directed link from → to.
 func (c Control) HealLink(from, to ProcID) { c.sys.HealLink(from, to) }
+
+// AddEdge inserts the undirected communication-graph edge (a, b),
+// reporting whether the graph changed. Inserting into a complete graph
+// with no prior removals is a no-op. Each change counts in
+// Stats.TopologyRewrites.
+func (c Control) AddEdge(a, b ProcID) bool { return c.sys.AddEdge(a, b) }
+
+// RemoveEdge deletes the undirected edge (a, b), reporting whether the
+// graph changed. Only future sends are blocked; in-flight messages keep
+// their stamped delivery. Each change counts in Stats.TopologyRewrites.
+func (c Control) RemoveEdge(a, b ProcID) bool { return c.sys.RemoveEdge(a, b) }
+
+// RewireEdges replaces the live edge (a, b) with (a, to) — the
+// edge-rewiring move of the oblivious dynamic-network adversary. It
+// refuses (returning false, touching nothing) unless (a, b) is live,
+// (a, to) is absent, and a ≠ to; a successful rewire is a removal plus
+// an insertion and counts as two topology rewrites.
+func (c Control) RewireEdges(a, b, to ProcID) bool {
+	if a == b || a == to || !c.sys.EdgeLive(a, b) || c.sys.EdgeLive(a, to) {
+		return false
+	}
+	c.sys.RemoveEdge(a, b)
+	c.sys.AddEdge(a, to)
+	return true
+}
 
 // SetOmitFrom controls message omission for p: while enabled, every
 // message p sends is counted in M(O) and visible in the send records, but

@@ -38,6 +38,13 @@ type Config struct {
 	// (see FaultPlan). The engine copies the plan at construction; nil
 	// injects nothing.
 	Faults *FaultPlan
+	// Topology, when non-nil and not complete, restricts communication
+	// to the edges of the named graph (see Topology): a send whose edge
+	// is not live at send time counts in M(O) and Stats.BlockedSends but
+	// is never delivered. nil (or "complete") is the paper's all-to-all
+	// network, bit-identical to pre-topology runs. Adversaries may
+	// rewire edges at Observe time (Control.AddEdge/RemoveEdge).
+	Topology *Topology
 	// StallWindow, when > 0, enables stall detection: a run that
 	// processes StallWindow consecutive events with no delivery and no
 	// lifecycle transition (sleep, wake, crash, recovery) stops with
@@ -171,7 +178,7 @@ func (e *engine) dispose() {
 	e.sched = scheduler{}
 	e.ptab = payloadTable{}
 	e.procs, e.outboxes, e.sendLog, e.lanes = nil, nil, nil, nil
-	e.class, e.linkDown = nil, nil
+	e.class, e.linkDown, e.graph = nil, nil, nil
 }
 
 type engine struct {
@@ -220,6 +227,13 @@ type engine struct {
 	linkDown      map[int64]struct{}
 	linkActive    bool
 	everRecovered bool
+
+	// graph is the live communication graph (topology.go), nil for the
+	// complete graph with no edge edits — the hot path's one-nil-check
+	// gate, like linkActive. A complete-base graph materializes lazily on
+	// the first adversary edge edit. Edge writes happen only in Observe
+	// (serial, before commits), so shard lanes read it concurrently.
+	graph *Graph
 
 	// Stall detection (Config.StallWindow): stallSig is the progress
 	// signature — deliveries plus lifecycle transitions — at the last
@@ -279,6 +293,11 @@ func newEngine(cfg Config) (*engine, error) {
 			return nil, err
 		}
 	}
+	if cfg.Topology != nil {
+		if err := cfg.Topology.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	n := cfg.N
 	e := &engine{
 		cfg:          cfg,
@@ -294,6 +313,9 @@ func newEngine(cfg Config) (*engine, error) {
 	if cfg.Faults.Active() {
 		plan := *cfg.Faults
 		e.faults = &plan
+	}
+	if cfg.Topology.Active() {
+		e.graph = NewGraph(cfg.Topology, n)
 	}
 	if e.horizon == 0 {
 		e.horizon = DefaultHorizon
@@ -724,6 +746,16 @@ func (e *engine) commitOne(t Step, p ProcID) {
 		}
 		if e.cfg.Trace != nil {
 			e.trace(TraceEvent{Kind: TraceSend, Step: t, Proc: p, Other: to, Payload: ob.staged[d.pi]})
+		}
+		if e.graph != nil && !e.graph.Live(p, to) {
+			// Off-graph send: counted in M(O) like every other send, but
+			// the edge does not exist, so the network never carries it.
+			// Checked before the crash/omission/link verdicts so a dead
+			// edge always yields the "topology" drop, keeping the trace
+			// auditor's edge accounting exact.
+			e.st.BlockedSends++
+			e.traceSendDrop(t, p, to, ob.staged[d.pi], "topology")
+			continue
 		}
 		if e.pt.crashed(to) || omitted {
 			// Counted in M(O), but undeliverable.

@@ -127,6 +127,42 @@ func BenchmarkEngineLargeN(b *testing.B) {
 	}
 }
 
+// BenchmarkRingTopology measures the send-path edge check on a sparse
+// communication graph at 10k processes. The token-ring workload keeps
+// every send on a live ring edge, so the bench isolates the Graph.Live
+// map-hit cost added to each send; the blocked variant runs the stagger
+// workload's random-target sends on the same ring, so nearly every send
+// misses the edge set and exercises the blocked-send path (drop note,
+// BlockedSends accounting, no calendar insertion).
+func BenchmarkRingTopology(b *testing.B) {
+	const n = 10000
+	ring := &Topology{Kind: "ring"}
+	b.Run("10k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o, err := Run(Config{N: n, F: 0, Protocol: tokenRingProto{laps: 1}, Topology: ring, Seed: uint64(i + 1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if o.HorizonHit || o.Stats.BlockedSends != 0 {
+				b.Fatalf("ring-topology run off course: horizon=%v blocked=%d", o.HorizonHit, o.Stats.BlockedSends)
+			}
+		}
+	})
+	b.Run("blocked/10k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o, err := Run(Config{N: n, F: 0, Protocol: staggerProto{}, Topology: ring, Seed: uint64(i + 1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if o.HorizonHit || o.Stats.BlockedSends == 0 {
+				b.Fatalf("blocked run off course: horizon=%v blocked=%d", o.HorizonHit, o.Stats.BlockedSends)
+			}
+		}
+	})
+}
+
 // BenchmarkEngineDelayHeavy exercises skipped-step scheduling: an adversary
 // rewrites half the processes to huge local-step and delivery times, so the
 // run's global-step range is large but almost every step is inert. The cost

@@ -85,6 +85,13 @@ type oracle struct {
 	class    []int32
 	linkDown map[int64]struct{}
 
+	// graph is the live communication graph, built by the shared
+	// sim.NewGraph constructor — like FaultPlan.Roll, the edge set is
+	// part of the semantics (a seeded graph), not an implementation
+	// choice, so both engines construct it identically. nil until a
+	// topology or the first adversary edge edit requires one.
+	graph *sim.Graph
+
 	msgTotal    int64
 	crashCount  int
 	crashesEver int
@@ -137,6 +144,11 @@ func newOracle(cfg sim.Config) (*oracle, error) {
 			return nil, err
 		}
 	}
+	if cfg.Topology != nil {
+		if err := cfg.Topology.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	n := cfg.N
 	e := &oracle{
 		cfg: cfg, n: n,
@@ -155,6 +167,9 @@ func newOracle(cfg sim.Config) (*oracle, error) {
 	if cfg.Faults.Active() {
 		plan := *cfg.Faults
 		e.faults = &plan
+	}
+	if cfg.Topology.Active() {
+		e.graph = sim.NewGraph(cfg.Topology, n)
 	}
 	if e.horizon == 0 {
 		e.horizon = sim.DefaultHorizon
@@ -394,6 +409,12 @@ func (e *oracle) commitOne(t sim.Step, p sim.ProcID) {
 		deliverAt := t + e.delay[p]
 		if e.adv != nil {
 			e.sendLog = append(e.sendLog, sim.SendRecord{From: p, To: d.To, SentAt: t, DeliverAt: deliverAt})
+		}
+		if e.graph != nil && !e.graph.Live(p, d.To) {
+			// Same check, same position as the engine: a dead edge blocks
+			// the send before any crash/omission/link verdict.
+			e.st.BlockedSends++
+			continue
 		}
 		if e.crashed[d.To] || e.omitted[p] {
 			if e.crashed[d.To] {
@@ -703,4 +724,44 @@ func (e *oracle) HealLink(from, to sim.ProcID) {
 	}
 	e.st.LinkRewrites++
 	delete(e.linkDown, linkKey(from, to))
+}
+
+// EdgeLive implements sim.System.
+func (e *oracle) EdgeLive(a, b sim.ProcID) bool {
+	if a < 0 || int(a) >= e.n || b < 0 || int(b) >= e.n {
+		panic("oracle: EdgeLive on process out of range")
+	}
+	return e.graph == nil || e.graph.Live(a, b)
+}
+
+// AddEdge implements sim.System, mirroring the engine's lazy
+// complete-base materialization and rewrite counting (no traces: the
+// oracle never traces).
+func (e *oracle) AddEdge(a, b sim.ProcID) bool {
+	if a < 0 || int(a) >= e.n || b < 0 || int(b) >= e.n {
+		panic("oracle: AddEdge on process out of range")
+	}
+	if e.graph == nil {
+		e.graph = sim.NewGraph(nil, e.n)
+	}
+	if !e.graph.Add(a, b) {
+		return false
+	}
+	e.st.TopologyRewrites++
+	return true
+}
+
+// RemoveEdge implements sim.System.
+func (e *oracle) RemoveEdge(a, b sim.ProcID) bool {
+	if a < 0 || int(a) >= e.n || b < 0 || int(b) >= e.n {
+		panic("oracle: RemoveEdge on process out of range")
+	}
+	if e.graph == nil {
+		e.graph = sim.NewGraph(nil, e.n)
+	}
+	if !e.graph.Remove(a, b) {
+		return false
+	}
+	e.st.TopologyRewrites++
+	return true
 }

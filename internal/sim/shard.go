@@ -81,6 +81,7 @@ type shardLane struct {
 	dropped       int64
 	omitted       int64
 	droppedLink   int64
+	blockedSends  int64
 	pendingDelta  int64
 	inflightDelta int64
 	intSends      int64
@@ -233,6 +234,13 @@ func (e *engine) prepareOne(t Step, p ProcID, ln *shardLane, table int64) {
 		if e.adv != nil {
 			ln.sendLog = append(ln.sendLog, SendRecord{From: p, To: to, SentAt: t, DeliverAt: deliverAt})
 		}
+		if e.graph != nil && !e.graph.Live(p, to) {
+			// Same check, same position as commitOne: the graph is
+			// read-only during commits (edges change only in Observe), so
+			// lanes consult it without synchronization.
+			ln.blockedSends++
+			continue
+		}
 		if e.pt.crashed(to) || omitted {
 			if e.pt.crashed(to) {
 				ln.dropped++
@@ -298,6 +306,7 @@ func (e *engine) mergeLanes(t Step, due []ProcID, shards int) {
 		e.st.DroppedCrashed += ln.dropped
 		e.st.OmittedSends += ln.omitted
 		e.st.DroppedLink += ln.droppedLink
+		e.st.BlockedSends += ln.blockedSends
 		e.totalPending -= ln.pendingDelta
 		e.inflight += ln.inflightDelta
 		e.inflightToCorrect += ln.inflightDelta
@@ -330,7 +339,7 @@ func (e *engine) mergeLanes(t Step, due []ProcID, shards int) {
 		ln.msgs = ln.msgs[:0]
 		ln.runs = ln.runs[:0]
 		ln.localSteps, ln.events, ln.sends = 0, 0, 0
-		ln.dropped, ln.omitted, ln.droppedLink = 0, 0, 0
+		ln.dropped, ln.omitted, ln.droppedLink, ln.blockedSends = 0, 0, 0, 0
 		ln.pendingDelta, ln.inflightDelta, ln.intSends = 0, 0, 0
 	}
 	// In-flight only grows during a commit phase, so the folded end value

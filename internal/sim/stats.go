@@ -54,6 +54,12 @@ type Stats struct {
 	// the receiver at delivery (detected loss; protocols never observe a
 	// corrupted payload).
 	CorruptDrops int64 `json:",omitempty"`
+	// BlockedSends counts sends blocked at send time because the
+	// communication graph (Config.Topology plus adversary rewiring) has
+	// no live edge between sender and receiver. They count in Sends but
+	// never enter the network. omitempty keeps topology-free outcomes'
+	// JSON encoding — and hence the golden matrices — byte-identical.
+	BlockedSends int64 `json:",omitempty"`
 
 	// HeapPushes and HeapPops count operations on the scheduler's
 	// event-time heap — the engine's scheduling work, independent of
@@ -83,6 +89,9 @@ type Stats struct {
 	DelayRewrites int64
 	OmitRewrites  int64
 	LinkRewrites  int64 `json:",omitempty"`
+	// TopologyRewrites counts communication-graph edge edits
+	// (AddEdge/RemoveEdge changes; a RewireEdges success is two).
+	TopologyRewrites int64 `json:",omitempty"`
 
 	// MessagesByKind breaks Sends down by Payload.Kind(), sorted by kind.
 	MessagesByKind []KindCount
@@ -206,6 +215,7 @@ func (s *Stats) Merge(other *Stats) {
 	s.DroppedLink += other.DroppedLink
 	s.DupDeliveries += other.DupDeliveries
 	s.CorruptDrops += other.CorruptDrops
+	s.BlockedSends += other.BlockedSends
 	s.HeapPushes += other.HeapPushes
 	s.HeapPops += other.HeapPops
 	if other.MaxInFlight > s.MaxInFlight {
@@ -222,6 +232,7 @@ func (s *Stats) Merge(other *Stats) {
 	s.DelayRewrites += other.DelayRewrites
 	s.OmitRewrites += other.OmitRewrites
 	s.LinkRewrites += other.LinkRewrites
+	s.TopologyRewrites += other.TopologyRewrites
 	for _, kc := range other.MessagesByKind {
 		found := false
 		for i := range s.MessagesByKind {

@@ -162,6 +162,58 @@ func (e *engine) DropLink(from, to ProcID) {
 	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: from, Note: "droplink"})
 }
 
+// EdgeLive implements System: whether the undirected communication-graph
+// edge (a, b) is live. With no topology and no edge edits every pair is
+// connected.
+func (e *engine) EdgeLive(a, b ProcID) bool {
+	if a < 0 || int(a) >= e.n || b < 0 || int(b) >= e.n {
+		panic("sim: EdgeLive on process out of range")
+	}
+	return e.graph == nil || e.graph.Live(a, b)
+}
+
+// AddEdge implements System: insert the undirected edge (a, b),
+// reporting whether the graph changed. On a change, the rewrite counts
+// in Stats.TopologyRewrites and traces as an adversary event carrying
+// both endpoints.
+func (e *engine) AddEdge(a, b ProcID) bool {
+	if a < 0 || int(a) >= e.n || b < 0 || int(b) >= e.n {
+		panic("sim: AddEdge on process out of range")
+	}
+	e.ensureGraph()
+	if !e.graph.Add(a, b) {
+		return false
+	}
+	e.st.TopologyRewrites++
+	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: a, Other: b, Note: "addedge"})
+	return true
+}
+
+// RemoveEdge implements System: delete the undirected edge (a, b),
+// mirroring AddEdge. Only future sends are affected; messages already in
+// flight keep their stamped delivery.
+func (e *engine) RemoveEdge(a, b ProcID) bool {
+	if a < 0 || int(a) >= e.n || b < 0 || int(b) >= e.n {
+		panic("sim: RemoveEdge on process out of range")
+	}
+	e.ensureGraph()
+	if !e.graph.Remove(a, b) {
+		return false
+	}
+	e.st.TopologyRewrites++
+	e.trace(TraceEvent{Kind: TraceAdversary, Step: e.now, Proc: a, Other: b, Note: "removeedge"})
+	return true
+}
+
+// ensureGraph materializes the complete-base delta graph on the first
+// edge edit of a run without a Config.Topology, so edge-free complete
+// runs keep the nil fast path in the send loop.
+func (e *engine) ensureGraph() {
+	if e.graph == nil {
+		e.graph = NewGraph(nil, e.n)
+	}
+}
+
 // HealLink implements System.
 func (e *engine) HealLink(from, to ProcID) {
 	if from < 0 || int(from) >= e.n || to < 0 || int(to) >= e.n {

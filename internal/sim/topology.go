@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+// Communication-graph topologies.
+//
+// A Topology restricts which process pairs may exchange messages: a send
+// whose (from, to) edge is not live at send time is counted in M(O) and
+// Stats.BlockedSends but never enters the calendar — exactly the
+// semantics of the partition/link checks, one layer earlier. The default
+// (nil Topology, or kind "complete") is the all-to-all graph of the
+// paper and is bit-identical to every pre-topology run.
+//
+// Graph construction is a pure function of (Topology, N): the seeded
+// kinds derive their randomness from Topology.Seed through the
+// seedDomainTopo chain, never from Config.Seed, so re-seeding a run
+// keeps the graph fixed while re-rolling everything else. Construction
+// is total in N — degenerate parameters (K ≥ N, duplicate or self
+// edges) skip the offending edges instead of failing, so every
+// (Topology, N) pair that validates also builds.
+
+// seedDomainTopo tags graph-construction draws in the seed-derivation
+// chain, alongside seedDomainProc/seedDomainAdv/seedDomainFault.
+const seedDomainTopo uint64 = 4
+
+// Topology names a communication graph for Config.Topology.
+type Topology struct {
+	// Kind selects the graph family: "complete" (or "", the default:
+	// all-to-all), "ring" (cycle 0–1–…–(N−1)–0), "k-regular" (circulant
+	// graph with offsets 1..K/2), "expander" (union of K/2 seeded random
+	// Hamiltonian cycles — a standard randomized expander construction),
+	// or "radio" (sparse bounded-degree graph: each process draws K
+	// random neighbor candidates, an edge lands only while both
+	// endpoints are under degree K — the ad-hoc radio-network model; may
+	// be disconnected).
+	Kind string
+	// K is the degree parameter of k-regular/expander (even, ≥ 2) and
+	// the degree bound of radio (≥ 1). Ring and complete ignore it.
+	K int
+	// Seed drives the randomized constructions (expander, radio).
+	Seed uint64
+}
+
+// Active reports whether the topology restricts anything: nil and
+// complete graphs are inactive, and engines skip the per-send edge check
+// entirely.
+func (t *Topology) Active() bool {
+	return t != nil && t.Kind != "" && t.Kind != "complete"
+}
+
+// Validate reports whether the topology is well-formed. Validation is
+// N-independent: parameters too large for a given N degrade (edges are
+// skipped), never fail.
+func (t *Topology) Validate() error {
+	switch t.Kind {
+	case "", "complete", "ring":
+		return nil
+	case "k-regular", "expander":
+		if t.K < 2 || t.K%2 != 0 {
+			return fmt.Errorf("sim: topology %s: K = %d, need even K ≥ 2", t.Kind, t.K)
+		}
+		return nil
+	case "radio":
+		if t.K < 1 {
+			return fmt.Errorf("sim: topology radio: K = %d, need K ≥ 1", t.K)
+		}
+		return nil
+	default:
+		return fmt.Errorf("sim: unknown topology kind %q (complete|ring|k-regular|expander|radio)", t.Kind)
+	}
+}
+
+// String renders the topology in the form ParseTopology accepts, with
+// every parameter the kind consumes spelled out — ParseTopology fills
+// defaults eagerly, so parse∘String is the identity.
+func (t *Topology) String() string {
+	switch t.Kind {
+	case "", "complete":
+		return "complete"
+	case "ring":
+		return "ring"
+	case "k-regular":
+		return fmt.Sprintf("k-regular,k=%d", t.K)
+	default: // expander, radio: seeded kinds always print their seed
+		return fmt.Sprintf("%s,k=%d,seed=%d", t.Kind, t.K, t.Seed)
+	}
+}
+
+// ParseTopology parses a comma-separated topology spec such as "ring",
+// "k-regular,k=4", "expander,k=4,seed=9", or "radio,k=3,seed=2" into a
+// Topology for Config.Topology. The first element is the kind; k= and
+// seed= follow in any order. Missing parameters take the kind's default
+// (k=4 for k-regular/expander, k=3 for radio). An empty spec yields nil
+// (the complete graph).
+func ParseTopology(s string) (*Topology, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	t := &Topology{Kind: strings.TrimSpace(parts[0])}
+	for _, part := range parts[1:] {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("sim: topology spec %q: want key=value", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "k":
+			k, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("sim: topology k %q: %v", val, err)
+			}
+			t.K = k
+		case "seed":
+			u, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sim: topology seed %q: %v", val, err)
+			}
+			t.Seed = u
+		default:
+			return nil, fmt.Errorf("sim: topology spec: unknown key %q", key)
+		}
+	}
+	if t.K == 0 {
+		switch t.Kind {
+		case "k-regular", "expander":
+			t.K = 4
+		case "radio":
+			t.K = 3
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	// Normalize: zero the parameters the kind ignores. String prints only
+	// the parameters a kind consumes, so without this a spec carrying a
+	// stray k/seed ("complete,k=5", "ring,k=7") would break the
+	// parse∘String identity.
+	switch t.Kind {
+	case "", "complete":
+		t = &Topology{Kind: "complete"}
+	case "ring":
+		t.K, t.Seed = 0, 0
+	case "k-regular":
+		t.Seed = 0
+	}
+	return t, nil
+}
+
+// Graph is the run's live communication graph: the undirected edge set
+// the send path consults. Both engines (sim and sim/oracle) share this
+// type and its constructor — like FaultPlan.Roll, it is a deliberate
+// sharing point, so the edge set cannot drift between them. Reads
+// (Live) are lock-free; the adversary mutates edges only inside Observe,
+// which runs serially before any commit, so shard lanes read the maps
+// concurrently without synchronization.
+//
+// Two representations: a materialized sparse edge set (non-complete
+// kinds), or a complete-base delta that stores only removed edges (a
+// complete topology that an adversary starts rewiring). Both are keyed
+// by the packed undirected pair min<<32|max.
+type Graph struct {
+	// edges is the live edge set when the base graph is sparse; nil in
+	// complete-base mode.
+	edges map[int64]struct{}
+	// removed holds the deleted edges of a complete base graph; nil in
+	// sparse mode.
+	removed map[int64]struct{}
+}
+
+// edgeKey packs an undirected pair into a map key.
+func edgeKey(a, b ProcID) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	return int64(a)<<32 | int64(b)
+}
+
+// NewGraph builds the initial live edge set of topology t over n
+// processes. A nil or complete topology yields a complete-base graph
+// with no removals; engines may keep graph state nil until the first
+// edge edit instead, which is equivalent and skips the send-path check.
+func NewGraph(t *Topology, n int) *Graph {
+	if !t.Active() {
+		return &Graph{removed: make(map[int64]struct{})}
+	}
+	g := &Graph{edges: make(map[int64]struct{})}
+	addCycle := func(perm []int) {
+		for i, a := range perm {
+			b := perm[(i+1)%len(perm)]
+			if a != b {
+				g.edges[edgeKey(ProcID(a), ProcID(b))] = struct{}{}
+			}
+		}
+	}
+	switch t.Kind {
+	case "ring":
+		if n > 1 {
+			ident := make([]int, n)
+			for i := range ident {
+				ident[i] = i
+			}
+			addCycle(ident)
+		}
+	case "k-regular":
+		// Circulant graph: every process connects to the K/2 nearest
+		// offsets on each side. Offsets ≥ N wrap onto existing edges and
+		// collapse in the set.
+		for off := 1; off <= t.K/2; off++ {
+			for i := 0; i < n; i++ {
+				j := (i + off) % n
+				if i != j {
+					g.edges[edgeKey(ProcID(i), ProcID(j))] = struct{}{}
+				}
+			}
+		}
+	case "expander":
+		// Union of K/2 random Hamiltonian cycles — w.h.p. an expander.
+		rng := xrand.New(xrand.Derive(t.Seed, seedDomainTopo))
+		for c := 0; c < t.K/2; c++ {
+			if n > 1 {
+				addCycle(rng.Perm(n))
+			}
+		}
+	case "radio":
+		// Greedy bounded-degree construction: each process draws K
+		// neighbor candidates; an edge lands only while both endpoints
+		// are still under degree K. Deterministic in draw order, sparse,
+		// and possibly disconnected — the radio-network regime.
+		rng := xrand.New(xrand.Derive(t.Seed, seedDomainTopo))
+		deg := make([]int, n)
+		for i := 0; i < n && n > 1; i++ {
+			for c := 0; c < t.K; c++ {
+				j := rng.IntnExcept(n, i)
+				if deg[i] >= t.K {
+					break
+				}
+				if deg[j] >= t.K {
+					continue
+				}
+				key := edgeKey(ProcID(i), ProcID(j))
+				if _, dup := g.edges[key]; dup {
+					continue
+				}
+				g.edges[key] = struct{}{}
+				deg[i]++
+				deg[j]++
+			}
+		}
+	}
+	return g
+}
+
+// Live reports whether the undirected edge (a, b) is in the graph.
+// Self-loops are always live: a process can talk to itself on any
+// topology.
+func (g *Graph) Live(a, b ProcID) bool {
+	if a == b {
+		return true
+	}
+	key := edgeKey(a, b)
+	if g.edges != nil {
+		_, ok := g.edges[key]
+		return ok
+	}
+	_, gone := g.removed[key]
+	return !gone
+}
+
+// Add inserts the undirected edge (a, b), reporting whether the graph
+// changed. Self-loops are no-ops.
+func (g *Graph) Add(a, b ProcID) bool {
+	if a == b {
+		return false
+	}
+	key := edgeKey(a, b)
+	if g.edges != nil {
+		if _, ok := g.edges[key]; ok {
+			return false
+		}
+		g.edges[key] = struct{}{}
+		return true
+	}
+	if _, gone := g.removed[key]; !gone {
+		return false
+	}
+	delete(g.removed, key)
+	return true
+}
+
+// Remove deletes the undirected edge (a, b), reporting whether the
+// graph changed.
+func (g *Graph) Remove(a, b ProcID) bool {
+	if a == b {
+		return false
+	}
+	key := edgeKey(a, b)
+	if g.edges != nil {
+		if _, ok := g.edges[key]; !ok {
+			return false
+		}
+		delete(g.edges, key)
+		return true
+	}
+	if _, gone := g.removed[key]; gone {
+		return false
+	}
+	g.removed[key] = struct{}{}
+	return true
+}

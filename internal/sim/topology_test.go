@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseTopologyRoundTrip pins parse∘String = identity on every kind,
+// including the normalization of elided defaults and of parameters the
+// kind ignores — the contract FuzzTopologySpec (internal/simtest)
+// hammers with arbitrary inputs.
+func TestParseTopologyRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // canonical String form, "" for nil
+	}{
+		{"", ""},
+		{"  ", ""},
+		{"complete", "complete"},
+		{",", "complete"},
+		{"complete,k=5,seed=9", "complete"},
+		{"ring", "ring"},
+		{"ring,k=7,seed=3", "ring"},
+		{"k-regular", "k-regular,k=4"},
+		{"k-regular,k=6", "k-regular,k=6"},
+		{"k-regular,k=6,seed=9", "k-regular,k=6"},
+		{"expander", "expander,k=4,seed=0"},
+		{"expander,seed=7,k=2", "expander,k=2,seed=7"},
+		{"radio", "radio,k=3,seed=0"},
+		{"radio,k=1,seed=0xff", "radio,k=1,seed=255"},
+		// k=0 is the zero value, indistinguishable from "not given": it
+		// takes the kind's default rather than failing validation.
+		{"k-regular,k=0", "k-regular,k=4"},
+		{"radio,k=0", "radio,k=3,seed=0"},
+	}
+	for _, tc := range cases {
+		topo, err := ParseTopology(tc.spec)
+		if err != nil {
+			t.Errorf("ParseTopology(%q): %v", tc.spec, err)
+			continue
+		}
+		if tc.want == "" {
+			if topo != nil {
+				t.Errorf("ParseTopology(%q) = %+v, want nil", tc.spec, topo)
+			}
+			continue
+		}
+		if got := topo.String(); got != tc.want {
+			t.Errorf("ParseTopology(%q).String() = %q, want %q", tc.spec, got, tc.want)
+		}
+		again, err := ParseTopology(topo.String())
+		if err != nil {
+			t.Errorf("%q: canonical form %q does not reparse: %v", tc.spec, topo.String(), err)
+			continue
+		}
+		if *again != *topo {
+			t.Errorf("%q: round trip changed the topology: %+v → %+v", tc.spec, topo, again)
+		}
+	}
+}
+
+// TestParseTopologyRejects pins the rejection surface: unknown kinds,
+// odd or undersized degrees, malformed parameters.
+func TestParseTopologyRejects(t *testing.T) {
+	for _, spec := range []string{
+		"warp",
+		"k-regular,k=3",
+		"expander,k=1",
+		"radio,k=-1",
+		"ring,k=nan",
+		"ring,k",
+		"ring,warp=1",
+		"expander,seed=banana",
+	} {
+		if topo, err := ParseTopology(spec); err == nil {
+			t.Errorf("ParseTopology(%q) = %+v, want error", spec, topo)
+		}
+	}
+}
+
+// TestNewGraphFamilies checks the constructed edge sets: exact shapes
+// where the family is deterministic, structural bounds where it is
+// seeded, and graceful degradation on degenerate N.
+func TestNewGraphFamilies(t *testing.T) {
+	degree := func(g *Graph, n int, p ProcID) int {
+		d := 0
+		for q := 0; q < n; q++ {
+			if ProcID(q) != p && g.Live(p, ProcID(q)) {
+				d++
+			}
+		}
+		return d
+	}
+
+	t.Run("complete", func(t *testing.T) {
+		g := NewGraph(nil, 5)
+		for a := 0; a < 5; a++ {
+			for b := 0; b < 5; b++ {
+				if !g.Live(ProcID(a), ProcID(b)) {
+					t.Errorf("complete graph: edge %d–%d not live", a, b)
+				}
+			}
+		}
+	})
+	t.Run("ring", func(t *testing.T) {
+		const n = 6
+		g := NewGraph(&Topology{Kind: "ring"}, n)
+		for i := 0; i < n; i++ {
+			if got := degree(g, n, ProcID(i)); got != 2 {
+				t.Errorf("ring: degree(%d) = %d, want 2", i, got)
+			}
+			if !g.Live(ProcID(i), ProcID((i+1)%n)) {
+				t.Errorf("ring: edge %d–%d not live", i, (i+1)%n)
+			}
+		}
+		if g.Live(0, 3) {
+			t.Error("ring: chord 0–3 live")
+		}
+	})
+	t.Run("k-regular", func(t *testing.T) {
+		const n, k = 10, 4
+		g := NewGraph(&Topology{Kind: "k-regular", K: k}, n)
+		for i := 0; i < n; i++ {
+			if got := degree(g, n, ProcID(i)); got != k {
+				t.Errorf("k-regular: degree(%d) = %d, want %d", i, got, k)
+			}
+		}
+	})
+	t.Run("expander", func(t *testing.T) {
+		const n, k = 16, 4
+		g := NewGraph(&Topology{Kind: "expander", K: k, Seed: 7}, n)
+		for i := 0; i < n; i++ {
+			d := degree(g, n, ProcID(i))
+			// Union of K/2 Hamiltonian cycles: exactly 2 per cycle, minus
+			// coincidences — never more than K, never less than 2.
+			if d < 2 || d > k {
+				t.Errorf("expander: degree(%d) = %d, want in [2, %d]", i, d, k)
+			}
+		}
+	})
+	t.Run("radio", func(t *testing.T) {
+		const n, k = 12, 3
+		g := NewGraph(&Topology{Kind: "radio", K: k, Seed: 7}, n)
+		edges := 0
+		for i := 0; i < n; i++ {
+			d := degree(g, n, ProcID(i))
+			if d > k {
+				t.Errorf("radio: degree(%d) = %d exceeds bound %d", i, d, k)
+			}
+			edges += d
+		}
+		if edges == 0 {
+			t.Error("radio: no edges at all")
+		}
+	})
+	t.Run("degenerate", func(t *testing.T) {
+		// Parameters too large for N degrade, never fail: a 4-regular
+		// request over 3 processes collapses onto the triangle.
+		g := NewGraph(&Topology{Kind: "k-regular", K: 4}, 3)
+		for a := 0; a < 3; a++ {
+			for b := a + 1; b < 3; b++ {
+				if !g.Live(ProcID(a), ProcID(b)) {
+					t.Errorf("degenerate k-regular: edge %d–%d not live", a, b)
+				}
+			}
+		}
+		if g := NewGraph(&Topology{Kind: "ring"}, 1); g.Live(0, 0) != true {
+			t.Error("N=1 ring: self-loop not live")
+		}
+	})
+	t.Run("determinism", func(t *testing.T) {
+		a := NewGraph(&Topology{Kind: "radio", K: 3, Seed: 42}, 20)
+		b := NewGraph(&Topology{Kind: "radio", K: 3, Seed: 42}, 20)
+		c := NewGraph(&Topology{Kind: "radio", K: 3, Seed: 43}, 20)
+		same, diff := true, false
+		for i := 0; i < 20; i++ {
+			for j := i + 1; j < 20; j++ {
+				if a.Live(ProcID(i), ProcID(j)) != b.Live(ProcID(i), ProcID(j)) {
+					same = false
+				}
+				if a.Live(ProcID(i), ProcID(j)) != c.Live(ProcID(i), ProcID(j)) {
+					diff = true
+				}
+			}
+		}
+		if !same {
+			t.Error("same (Topology, N) built different graphs")
+		}
+		if !diff {
+			t.Error("different seeds built the identical radio graph (possible, but at N=20 K=3 it means the seed is ignored)")
+		}
+	})
+}
+
+// TestGraphEdits pins Add/Remove change-reporting on both
+// representations: the sparse edge set and the complete-base delta.
+func TestGraphEdits(t *testing.T) {
+	t.Run("sparse", func(t *testing.T) {
+		g := NewGraph(&Topology{Kind: "ring"}, 4)
+		if !g.Remove(0, 1) || g.Remove(0, 1) {
+			t.Error("sparse Remove: want changed then no-op")
+		}
+		if g.Live(0, 1) || !g.Live(1, 0) == false {
+			t.Error("sparse Remove did not kill the edge both ways")
+		}
+		if !g.Add(0, 2) || g.Add(2, 0) {
+			t.Error("sparse Add: want changed then undirected no-op")
+		}
+		if g.Add(1, 1) || g.Remove(1, 1) {
+			t.Error("self-loop edits must be no-ops")
+		}
+	})
+	t.Run("complete-base", func(t *testing.T) {
+		g := NewGraph(nil, 0) // complete base ignores n
+		if g.Add(0, 1) {
+			t.Error("complete base: Add of a live edge reported a change")
+		}
+		if !g.Remove(0, 1) || g.Remove(0, 1) {
+			t.Error("complete base Remove: want changed then no-op")
+		}
+		if g.Live(0, 1) || g.Live(1, 0) {
+			t.Error("complete base: removed edge still live")
+		}
+		if !g.Add(1, 0) || !g.Live(0, 1) {
+			t.Error("complete base: re-Add did not restore the edge")
+		}
+	})
+}
+
+// TestTopologyValidateMessages pins that validation errors name the
+// offending kind, so CLI and spec errors stay actionable.
+func TestTopologyValidateMessages(t *testing.T) {
+	err := (&Topology{Kind: "k-regular", K: 3}).Validate()
+	if err == nil || !strings.Contains(err.Error(), "k-regular") {
+		t.Errorf("want k-regular named in %v", err)
+	}
+	err = (&Topology{Kind: "warp"}).Validate()
+	if err == nil || !strings.Contains(err.Error(), "warp") {
+		t.Errorf("want unknown kind named in %v", err)
+	}
+}

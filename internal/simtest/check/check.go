@@ -20,14 +20,20 @@
 //     process is alive again and may do all of those, including crash
 //     anew
 //   - recoveries only revive crashed processes
+//   - with a topology primed (UseTopology), sends cross only live edges
+//     of the communication graph — a dead-edge send must be consumed by a
+//     "topology" drop, a "topology" drop must follow a dead-edge send,
+//     and the stream's edge-edit events replay onto the graph mirror
+//     without no-ops
 //   - the end marker appears exactly once, last
 //
 // Finish then reconciles the stream with the run's Outcome: per-kind
-// event counts must equal the Stats counters (drops against the four drop
+// event counts must equal the Stats counters (drops against the drop
 // counters, recoveries against Stats.Recoveries, duplicate arrivals
-// against Stats.DupDeliveries), and the sends never matched by an arrival
-// or a drop must account exactly for the sends still in flight when the
-// run ended.
+// against Stats.DupDeliveries, topology drops against Stats.BlockedSends,
+// edge edits against Stats.TopologyRewrites), and the sends never matched
+// by an arrival or a drop must account exactly for the sends still in
+// flight when the run ended.
 package check
 
 import (
@@ -61,6 +67,18 @@ type Sink struct {
 	sendsAt     sim.Step // last step with a send: arrivals at it violate phase order
 	haveSend    bool
 	counts      [sim.NumTraceKinds]int64
+
+	// graph mirrors the run's live communication graph: primed by
+	// UseTopology, lazily created complete on the first edge-edit event,
+	// and replayed forward through the stream's addedge/removeedge
+	// adversary events. nil means no topology knowledge: edge invariants
+	// are skipped until an edit appears.
+	graph *sim.Graph
+	// offEdge counts sends observed on dead edges, per link; each must be
+	// consumed by a "topology" drop.
+	offEdge   map[pair]int64
+	topoDrops int64 // drops with note "topology"
+	edgeEdits int64 // addedge/removeedge adversary events
 }
 
 // New returns an empty validator.
@@ -69,7 +87,19 @@ func New() *Sink {
 		crashed:     make(map[sim.ProcID]sim.Step),
 		outstanding: make(map[pair]int64),
 		everSent:    make(map[pair]int64),
+		offEdge:     make(map[pair]int64),
 	}
+}
+
+// UseTopology primes the validator with the run's initial communication
+// graph (Config.Topology over n processes), enabling the edge-liveness
+// invariants: a send on a dead edge must be consumed by a "topology"
+// drop, a "topology" drop must follow a dead-edge send, and the graph is
+// replayed forward through the stream's edge-edit adversary events. Call
+// it before the first event. Runs without a topology need no priming —
+// the validator lazily assumes a complete graph at the first edge edit.
+func (s *Sink) UseTopology(t *sim.Topology, n int) {
+	s.graph = sim.NewGraph(t, n)
 }
 
 func (s *Sink) violate(format string, args ...any) {
@@ -105,6 +135,9 @@ func (s *Sink) Event(ev sim.TraceEvent) {
 		s.outstanding[pair{ev.Proc, ev.Other}]++
 		s.everSent[pair{ev.Proc, ev.Other}]++
 		s.sendsAt, s.haveSend = ev.Step, true
+		if s.graph != nil && !s.graph.Live(ev.Proc, ev.Other) {
+			s.offEdge[pair{ev.Proc, ev.Other}]++
+		}
 	case sim.TraceArrive:
 		if at, dead := s.crashed[ev.Proc]; dead {
 			s.violate("t=%d: delivery to crashed process %d (crashed at t=%d)", ev.Step, ev.Proc, at)
@@ -143,6 +176,17 @@ func (s *Sink) Event(ev sim.TraceEvent) {
 		} else {
 			s.outstanding[p]--
 		}
+		if ev.Note == "topology" {
+			// An off-graph block: the matching send must have crossed a
+			// dead edge. Deliveries along live edges are the complement —
+			// a send the graph allowed is never topology-dropped.
+			s.topoDrops++
+			if s.offEdge[p] > 0 {
+				s.offEdge[p]--
+			} else {
+				s.violate("t=%d: topology drop at %d from %d but the edge was live at send", ev.Step, ev.Proc, ev.Other)
+			}
+		}
 	case sim.TraceRecover:
 		if _, dead := s.crashed[ev.Proc]; !dead {
 			s.violate("t=%d: recovery of process %d, which is not crashed", ev.Step, ev.Proc)
@@ -160,8 +204,25 @@ func (s *Sink) Event(ev sim.TraceEvent) {
 			s.crashed[ev.Proc] = ev.Step
 		}
 	case sim.TraceAdversary:
-		// Rewrites may legitimately name crashed processes; nothing to check
-		// beyond monotonicity.
+		// Rewrites may legitimately name crashed processes; nothing to
+		// check beyond monotonicity — except edge edits, which the
+		// validator replays onto its graph mirror. Engines trace an edit
+		// only when it changed the graph, so a no-op replay means the
+		// mirror and the engine have diverged.
+		if ev.Note == "addedge" || ev.Note == "removeedge" {
+			s.edgeEdits++
+			if s.graph == nil {
+				s.graph = sim.NewGraph(nil, 0) // lazy complete base, like the engines
+			}
+			switch {
+			case ev.Other < 0:
+				s.violate("t=%d: %s at %d without an edge endpoint", ev.Step, ev.Note, ev.Proc)
+			case ev.Note == "addedge" && !s.graph.Add(ev.Proc, ev.Other):
+				s.violate("t=%d: addedge %d–%d did not change the graph", ev.Step, ev.Proc, ev.Other)
+			case ev.Note == "removeedge" && !s.graph.Remove(ev.Proc, ev.Other):
+				s.violate("t=%d: removeedge %d–%d did not change the graph", ev.Step, ev.Proc, ev.Other)
+			}
+		}
 	case sim.TraceEnd:
 		if ev.Note == "" {
 			s.violate("t=%d: end marker without a reason note", ev.Step)
@@ -215,8 +276,8 @@ func (s *Sink) Finish(o sim.Outcome) []string {
 		{sim.TraceWake, o.Stats.Wakes, "Stats.Wakes"},
 		{sim.TraceCrash, o.Stats.Crashes, "Stats.Crashes"},
 		{sim.TraceRecover, o.Stats.Recoveries, "Stats.Recoveries"},
-		{sim.TraceDrop, o.Stats.DroppedCrashed + o.Stats.OmittedSends + o.Stats.DroppedLink + o.Stats.CorruptDrops, "drop counters"},
-		{sim.TraceAdversary, o.Stats.DeltaRewrites + o.Stats.DelayRewrites + o.Stats.OmitRewrites + o.Stats.LinkRewrites, "rewrite counters"},
+		{sim.TraceDrop, o.Stats.DroppedCrashed + o.Stats.OmittedSends + o.Stats.DroppedLink + o.Stats.CorruptDrops + o.Stats.BlockedSends, "drop counters"},
+		{sim.TraceAdversary, o.Stats.DeltaRewrites + o.Stats.DelayRewrites + o.Stats.OmitRewrites + o.Stats.LinkRewrites + o.Stats.TopologyRewrites, "rewrite counters"},
 	} {
 		if got := s.Count(pc.kind); got != pc.want {
 			add("%d %s events, %s=%d", got, pc.kind, pc.name, pc.want)
@@ -224,6 +285,19 @@ func (s *Sink) Finish(o sim.Outcome) []string {
 	}
 	if s.dupArrivals != o.Stats.DupDeliveries {
 		add("%d duplicate arrivals in trace, Stats.DupDeliveries=%d", s.dupArrivals, o.Stats.DupDeliveries)
+	}
+	if s.topoDrops != o.Stats.BlockedSends {
+		add("%d topology drops in trace, Stats.BlockedSends=%d", s.topoDrops, o.Stats.BlockedSends)
+	}
+	if s.edgeEdits != o.Stats.TopologyRewrites {
+		add("%d edge-edit events in trace, Stats.TopologyRewrites=%d", s.edgeEdits, o.Stats.TopologyRewrites)
+	}
+	var offOutstanding int64
+	for _, c := range s.offEdge {
+		offOutstanding += c
+	}
+	if offOutstanding != 0 {
+		add("%d dead-edge sends were never topology-dropped", offOutstanding)
 	}
 	var undelivered int64
 	for _, c := range s.outstanding {

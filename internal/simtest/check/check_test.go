@@ -152,6 +152,39 @@ func TestSinkCatches(t *testing.T) {
 			},
 			want: "recovery of process 0, which is not crashed",
 		},
+		{
+			name: "topology drop on a live edge",
+			run: func(s *check.Sink) {
+				s.UseTopology(&sim.Topology{Kind: "ring"}, 4)
+				s.Event(sim.TraceEvent{Kind: sim.TraceSend, Step: 1, Proc: 0, Other: 1})
+				s.Event(sim.TraceEvent{Kind: sim.TraceDrop, Step: 1, Proc: 1, Other: 0, Note: "topology"})
+			},
+			want: "the edge was live at send",
+		},
+		{
+			name: "addedge that changes nothing",
+			run: func(s *check.Sink) {
+				// Lazy complete base: 0–1 is already live, so the engine
+				// would never have traced this edit.
+				s.Event(sim.TraceEvent{Kind: sim.TraceAdversary, Step: 1, Proc: 0, Other: 1, Note: "addedge"})
+			},
+			want: "addedge 0–1 did not change the graph",
+		},
+		{
+			name: "removeedge that changes nothing",
+			run: func(s *check.Sink) {
+				s.Event(sim.TraceEvent{Kind: sim.TraceAdversary, Step: 1, Proc: 0, Other: 1, Note: "removeedge"})
+				s.Event(sim.TraceEvent{Kind: sim.TraceAdversary, Step: 2, Proc: 0, Other: 1, Note: "removeedge"})
+			},
+			want: "removeedge 0–1 did not change the graph",
+		},
+		{
+			name: "edge edit without an endpoint",
+			run: func(s *check.Sink) {
+				s.Event(sim.TraceEvent{Kind: sim.TraceAdversary, Step: 1, Proc: 0, Other: -1, Note: "removeedge"})
+			},
+			want: "without an edge endpoint",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -264,6 +297,85 @@ func TestFaultReconciliation(t *testing.T) {
 	noDup.Stats.DupDeliveries = 0
 	if vs := s.Finish(noDup); len(vs) == 0 {
 		t.Error("stream with a duplicate arrival accepted against Stats.DupDeliveries=0")
+	}
+}
+
+// TestTopologyReconciliation pins the edge-liveness arm: a ring run where
+// 0 sends off-graph to 2 (blocked) and on-graph to 1 (delivered), plus one
+// adversary edge removal, must reconcile only against counters accounting
+// for the blocked send and the rewrite — and a dead-edge send the stream
+// never drops must surface at Finish.
+func TestTopologyReconciliation(t *testing.T) {
+	ring := &sim.Topology{Kind: "ring"}
+	s := check.New()
+	s.UseTopology(ring, 4)
+	s.Event(sim.TraceEvent{Kind: sim.TraceSend, Step: 1, Proc: 0, Other: 2})
+	s.Event(sim.TraceEvent{Kind: sim.TraceDrop, Step: 1, Proc: 2, Other: 0, Note: "topology"})
+	s.Event(sim.TraceEvent{Kind: sim.TraceSend, Step: 1, Proc: 0, Other: 1})
+	s.Event(sim.TraceEvent{Kind: sim.TraceArrive, Step: 2, Proc: 1, Other: 0})
+	s.Event(sim.TraceEvent{Kind: sim.TraceAdversary, Step: 3, Proc: 1, Other: 2, Note: "removeedge"})
+	s.Event(sim.TraceEvent{Kind: sim.TraceEnd, Step: 3, Proc: -1, Other: -1, Note: "quiescence"})
+	if vs := s.Violations(); len(vs) != 0 {
+		t.Fatalf("legal topology stream rejected: %q", vs)
+	}
+
+	o := sim.Outcome{Quiescence: 3}
+	o.Stats.Sends, o.Stats.Deliveries = 2, 1
+	o.Stats.BlockedSends, o.Stats.TopologyRewrites = 1, 1
+	if vs := s.Finish(o); len(vs) != 0 {
+		t.Errorf("matching topology outcome rejected: %q", vs)
+	}
+	noBlock := o
+	noBlock.Stats.BlockedSends = 0
+	if vs := s.Finish(noBlock); len(vs) == 0 {
+		t.Error("stream with a topology drop accepted against Stats.BlockedSends=0")
+	}
+	noRewrite := o
+	noRewrite.Stats.TopologyRewrites = 0
+	if vs := s.Finish(noRewrite); len(vs) == 0 {
+		t.Error("stream with an edge edit accepted against Stats.TopologyRewrites=0")
+	}
+
+	// A dead-edge send the stream never topology-drops is caught by the
+	// end-of-run sweep even though no single event violated anything.
+	leak := check.New()
+	leak.UseTopology(ring, 4)
+	leak.Event(sim.TraceEvent{Kind: sim.TraceSend, Step: 1, Proc: 0, Other: 2})
+	leak.Event(sim.TraceEvent{Kind: sim.TraceArrive, Step: 2, Proc: 2, Other: 0})
+	leak.Event(sim.TraceEvent{Kind: sim.TraceEnd, Step: 2, Proc: -1, Other: -1, Note: "quiescence"})
+	lo := sim.Outcome{Quiescence: 2}
+	lo.Stats.Sends, lo.Stats.Deliveries = 1, 1
+	found := false
+	for _, v := range leak.Finish(lo) {
+		if strings.Contains(v, "never topology-dropped") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("delivered dead-edge send not caught: %q", leak.Finish(lo))
+	}
+}
+
+// TestReplayPreservesEdgeEndpoints pins the Replay special case: edge-edit
+// adversary events keep their decoded peer, so a replayed stream drives
+// the validator's graph mirror exactly like the live one.
+func TestReplayPreservesEdgeEndpoints(t *testing.T) {
+	recs := []trace.Record{
+		{Kind: "adversary", Step: 1, Proc: 0, Other: 1, Note: "removeedge"},
+		{Kind: "adversary", Step: 2, Proc: 0, Other: 1, Note: "removeedge"},
+	}
+	s, err := check.Replay(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range s.Violations() {
+		if strings.Contains(v, "removeedge 0–1 did not change the graph") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("replayed duplicate removeedge not caught: %q", s.Violations())
 	}
 }
 

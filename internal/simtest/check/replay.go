@@ -22,10 +22,17 @@ func (p replayPayload) Kind() string { return string(p) }
 // through the returned sink, not the error.
 func Replay(recs []trace.Record) (*Sink, error) {
 	s := New()
+	return s, ReplayInto(s, recs)
+}
+
+// ReplayInto feeds the stream through an existing sink — the Replay
+// variant for validators that need priming first (UseTopology) — with the
+// same error contract.
+func ReplayInto(s *Sink, recs []trace.Record) error {
 	for i, rec := range recs {
 		k, ok := sim.ParseTraceKind(rec.Kind)
 		if !ok {
-			return s, fmt.Errorf("check: record %d: unknown kind %q", i, rec.Kind)
+			return fmt.Errorf("check: record %d: unknown kind %q", i, rec.Kind)
 		}
 		ev := sim.TraceEvent{
 			Kind:  k,
@@ -34,9 +41,11 @@ func Replay(recs []trace.Record) (*Sink, error) {
 			Other: sim.ProcID(rec.Other),
 			Note:  rec.Note,
 		}
-		if !k.IsMessage() {
+		if !k.IsMessage() && k != sim.TraceAdversary {
 			// The encoder omits negative peers; restore the -1 the engine uses
-			// for run-level and single-process events.
+			// for run-level and single-process events. Adversary events keep
+			// their decoded peer: edge edits (addedge/removeedge) carry the
+			// edge's other endpoint there, and the validator replays them.
 			ev.Other = -1
 		}
 		if rec.Payload != "" {
@@ -44,5 +53,5 @@ func Replay(recs []trace.Record) (*Sink, error) {
 		}
 		s.Event(ev)
 	}
-	return s, nil
+	return nil
 }

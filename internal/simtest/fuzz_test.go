@@ -112,3 +112,75 @@ func FuzzFaultPlan(f *testing.F) {
 		}
 	})
 }
+
+// FuzzTopologySpec attacks the communication-graph surface from the
+// string side, mirroring FuzzFaultPlan's contract: arbitrary specs
+// through ParseTopology, every accepted topology must survive the
+// String round-trip exactly, and a small run on the graph must be
+// bit-identical between the production engine and the oracle, serial
+// and sharded. Malformed specs must be rejected with an error, never a
+// panic. The run carries a stall window and a tight event cutoff —
+// sparse graphs can make gathering impossible while neighbor traffic
+// keeps flowing, so MaxEvents is what bounds every accepted input.
+func FuzzTopologySpec(f *testing.F) {
+	for _, spec := range []string{
+		"",
+		"complete",
+		"ring",
+		"k-regular,k=4",
+		"expander,k=4,seed=9",
+		"expander",
+		"radio,k=3,seed=2",
+		"k-regular,k=3",
+		"ring,k=nan",
+		"warp=1",
+	} {
+		f.Add(spec, uint64(1))
+	}
+	f.Fuzz(func(t *testing.T, spec string, runSeed uint64) {
+		topo, err := sim.ParseTopology(spec)
+		if err != nil {
+			return // rejection is the contract for malformed specs
+		}
+		if topo == nil {
+			return // blank spec: complete graph
+		}
+		again, err := sim.ParseTopology(topo.String())
+		if err != nil {
+			t.Fatalf("%q: String() %q does not reparse: %v", spec, topo.String(), err)
+		}
+		if *again != *topo {
+			t.Fatalf("%q: round trip changed the topology: %+v → %q → %+v", spec, topo, topo.String(), again)
+		}
+		cfg := sim.Config{
+			N: 7, F: 2, Protocol: gossip.PushPull{}, Seed: runSeed,
+			Topology: topo, StallWindow: 2048, MaxEvents: 4000,
+		}
+		got, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("%q: engine: %v", spec, err)
+		}
+		want, err := oracle.Run(cfg)
+		if err != nil {
+			t.Fatalf("%q: oracle: %v", spec, err)
+		}
+		if diffs := DiffOutcomes(got, want); len(diffs) != 0 {
+			t.Errorf("%q: engine and oracle diverge on the graph:", spec)
+			for _, d := range diffs {
+				t.Errorf("  %s", d)
+			}
+		}
+		scfg := cfg
+		scfg.Workers = 4
+		sharded, err := sim.Run(scfg)
+		if err != nil {
+			t.Fatalf("%q: workers=4: %v", spec, err)
+		}
+		if diffs := DiffOutcomes(got, sharded); len(diffs) != 0 {
+			t.Errorf("%q: serial and sharded diverge on the graph:", spec)
+			for _, d := range diffs {
+				t.Errorf("  %s", d)
+			}
+		}
+	})
+}

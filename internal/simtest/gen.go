@@ -96,15 +96,22 @@ func Gen(genSeed uint64) Case {
 			Corrupt:   float64(r.Intn(4)) * 0.05,
 		}
 	}
-	// A lossy network or a scripted partition/link drop can sever the
-	// traffic a protocol is waiting for; give those cases a stall window so
-	// they terminate with Outcome.Stalled in bounded events instead of
-	// spinning to the horizon. Some fault-free cases draw a window too, so
-	// the no-stall path of the detector is differentially compared as well.
-	needStall := cfg.Faults != nil
+	tname := "complete"
+	if r.Intn(4) == 0 {
+		cfg.Topology = genTopology(r)
+		tname = cfg.Topology.Kind
+	}
+	// A lossy network, a scripted partition/link drop, or a sparse
+	// topology can sever the traffic a protocol is waiting for; give those
+	// cases a stall window so they terminate with Outcome.Stalled in
+	// bounded events instead of spinning to the horizon. Some fault-free
+	// cases draw a window too, so the no-stall path of the detector is
+	// differentially compared as well.
+	needStall := cfg.Faults != nil || cfg.Topology != nil
 	if s, ok := adv.(Script); ok {
 		for _, a := range s.Actions {
-			if a.Op == OpSetClass || a.Op == OpDropLink {
+			switch a.Op {
+			case OpSetClass, OpDropLink, OpRemoveEdge, OpRewireEdge:
 				needStall = true
 			}
 		}
@@ -112,10 +119,33 @@ func Gen(genSeed uint64) Case {
 	if needStall || r.Intn(8) == 0 {
 		cfg.StallWindow = 2048 + r.Int63n(4096)
 	}
+	// Sparse topologies keep neighbor traffic flowing even when gathering
+	// is impossible, so the stall signature alone may never freeze; a
+	// tight event cutoff bounds every topology case unconditionally.
+	if cfg.Topology != nil && cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 2000 + r.Int63n(8000)
+	}
 
 	return Case{
-		Name: fmt.Sprintf("gen-%#x/%s/%s/n=%d/f=%d/seed=%#x", genSeed, pname, aname, n, f, cfg.Seed),
+		Name: fmt.Sprintf("gen-%#x/%s/%s/%s/n=%d/f=%d/seed=%#x", genSeed, pname, aname, tname, n, f, cfg.Seed),
 		Cfg:  cfg,
+	}
+}
+
+// genTopology draws a non-complete communication graph: the sparse kinds
+// with degrees small enough to bite at the generator's N band. Callers
+// must pair it with a stall window and an event cutoff — sparse graphs
+// can make gathering impossible without quiescing.
+func genTopology(r *xrand.RNG) *sim.Topology {
+	switch r.Intn(4) {
+	case 0:
+		return &sim.Topology{Kind: "ring"}
+	case 1:
+		return &sim.Topology{Kind: "k-regular", K: 2 + 2*r.Intn(4)}
+	case 2:
+		return &sim.Topology{Kind: "expander", K: 2 + 2*r.Intn(4), Seed: r.Uint64()}
+	default:
+		return &sim.Topology{Kind: "radio", K: 1 + r.Intn(4), Seed: r.Uint64()}
 	}
 }
 
@@ -162,16 +192,17 @@ func genBig(r *xrand.RNG, genSeed uint64) Case {
 }
 
 // genScript draws a random deterministic action list: crashes,
-// recoveries, δ/d/omission rewrites, partition-class assignments and link
-// drops/heals at arbitrary (often never-active) trigger steps, with
-// values spanning several orders of magnitude.
+// recoveries, δ/d/omission rewrites, partition-class assignments, link
+// drops/heals, and communication-graph edge edits at arbitrary (often
+// never-active) trigger steps, with values spanning several orders of
+// magnitude.
 func genScript(r *xrand.RNG, n int) Script {
 	count := r.Intn(9)
 	actions := make([]Action, count)
 	for i := range actions {
 		a := Action{
 			At: sim.Step(r.Int63n(200)),
-			Op: Op(r.Intn(9)),
+			Op: Op(r.Intn(12)),
 			P:  sim.ProcID(r.Intn(n)),
 		}
 		switch a.Op {
@@ -181,8 +212,11 @@ func genScript(r *xrand.RNG, n int) Script {
 			a.V = sim.Step(r.Intn(2)) // retained or amnesiac
 		case OpSetClass:
 			a.V = sim.Step(r.Intn(3))
-		case OpDropLink, OpHealLink:
+		case OpDropLink, OpHealLink, OpAddEdge, OpRemoveEdge:
 			a.V = sim.Step(r.Intn(n))
+		case OpRewireEdge:
+			a.V = sim.Step(r.Intn(n))
+			a.V2 = sim.Step(r.Intn(n))
 		}
 		actions[i] = a
 	}

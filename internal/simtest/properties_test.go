@@ -159,6 +159,9 @@ func TestPropertyTraceInvariants(t *testing.T) {
 	for i := 0; i < configCount(t); i++ {
 		c := Gen(genSeedBase + uint64(i))
 		live := check.New()
+		if c.Cfg.Topology != nil {
+			live.UseTopology(c.Cfg.Topology, c.Cfg.N)
+		}
 		var buf bytes.Buffer
 		cfg := c.Cfg
 		var jsonl *trace.JSONL
@@ -193,8 +196,11 @@ func TestPropertyTraceInvariants(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: decode: %v", c.Name, err)
 		}
-		replayed, err := check.Replay(recs)
-		if err != nil {
+		replayed := check.New()
+		if c.Cfg.Topology != nil {
+			replayed.UseTopology(c.Cfg.Topology, c.Cfg.N)
+		}
+		if err := check.ReplayInto(replayed, recs); err != nil {
 			t.Fatalf("%s: replay: %v", c.Name, err)
 		}
 		if vs := replayed.Finish(o); len(vs) != 0 {

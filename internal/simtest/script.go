@@ -17,10 +17,13 @@ const (
 	OpSetDelay
 	OpOmitOn
 	OpOmitOff
-	OpRecover  // V ≠ 0: amnesiac recovery
-	OpSetClass // V: the partition class
-	OpDropLink // V: the link's destination process
-	OpHealLink // V: the link's destination process
+	OpRecover    // V ≠ 0: amnesiac recovery
+	OpSetClass   // V: the partition class
+	OpDropLink   // V: the link's destination process
+	OpHealLink   // V: the link's destination process
+	OpAddEdge    // V: the edge's other endpoint
+	OpRemoveEdge // V: the edge's other endpoint
+	OpRewireEdge // V: the removed edge's other endpoint; V2: the new one
 )
 
 // Action is one scripted intervention: at the first observed step ≥ At,
@@ -34,6 +37,9 @@ type Action struct {
 	Op Op
 	P  sim.ProcID
 	V  sim.Step
+	// V2 is the second value of the three-endpoint ops (OpRewireEdge's
+	// new endpoint); zero elsewhere.
+	V2 sim.Step
 }
 
 // Script is a deterministic adversary that replays a fixed action list,
@@ -97,6 +103,12 @@ func (si *scriptInstance) apply(now sim.Step, ctl sim.Control) {
 			ctl.DropLink(a.P, sim.ProcID(a.V))
 		case OpHealLink:
 			ctl.HealLink(a.P, sim.ProcID(a.V))
+		case OpAddEdge:
+			ctl.AddEdge(a.P, sim.ProcID(a.V))
+		case OpRemoveEdge:
+			ctl.RemoveEdge(a.P, sim.ProcID(a.V))
+		case OpRewireEdge:
+			ctl.RewireEdges(a.P, sim.ProcID(a.V), sim.ProcID(a.V2))
 		}
 	}
 }

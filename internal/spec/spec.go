@@ -76,18 +76,25 @@ type Spec struct {
 	// cache key.
 	Seed uint64 `json:"seed"`
 	// Horizon and MaxEvents mirror sim.Config (0: engine defaults).
-	Horizon int64 `json:"horizon,omitempty"`
+	Horizon   int64 `json:"horizon,omitempty"`
 	MaxEvents int64 `json:"max_events,omitempty"`
 	// Faults is the link-fault plan in sim.ParseFaultPlan syntax ("" for
 	// none); canonical form re-renders it via FaultPlan.String.
 	Faults string `json:"faults,omitempty"`
+	// Topology is the communication graph in sim.ParseTopology syntax
+	// ("ring", "k-regular,k=4", …). The complete graph — the paper's
+	// default — always elides: "" and "complete" canonicalize to the
+	// absent field, so every pre-topology canonical encoding (and its
+	// fingerprint) is unchanged. This is the default-elision rule new
+	// optional fields must follow to keep the version at 1.
+	Topology string `json:"topology,omitempty"`
 	// StallWindow mirrors sim.Config.StallWindow (0: off).
 	StallWindow int64 `json:"stall_window,omitempty"`
 	// StatsEvery and KeepPerProcess mirror sim.Config: they change the
 	// Outcome's content (the interval series, the per-process counters),
 	// so they are part of the run's identity.
-	StatsEvery int64 `json:"stats_every,omitempty"`
-	KeepPerProcess bool `json:"keep_per_process,omitempty"`
+	StatsEvery     int64 `json:"stats_every,omitempty"`
+	KeepPerProcess bool  `json:"keep_per_process,omitempty"`
 }
 
 // Error is a structured spec-validation failure: the offending field, the
@@ -173,10 +180,14 @@ func (s Spec) Config() (sim.Config, error) {
 	if err != nil {
 		return sim.Config{}, &Error{Field: "faults", Msg: err.Error()}
 	}
+	topo, err := sim.ParseTopology(s.Topology)
+	if err != nil {
+		return sim.Config{}, &Error{Field: "topology", Msg: err.Error()}
+	}
 	return sim.Config{
 		N: s.N, F: s.F, Protocol: proto, Adversary: adv, Seed: s.Seed,
 		Horizon: sim.Step(s.Horizon), MaxEvents: s.MaxEvents,
-		Faults: plan, StallWindow: s.StallWindow,
+		Faults: plan, Topology: topo, StallWindow: s.StallWindow,
 		StatsEvery: sim.Step(s.StatsEvery), KeepPerProcess: s.KeepPerProcess,
 	}, nil
 }
@@ -222,6 +233,9 @@ func FromConfig(cfg sim.Config) (Spec, error) {
 	}
 	if cfg.Faults.Active() {
 		s.Faults = cfg.Faults.String()
+	}
+	if cfg.Topology.Active() {
+		s.Topology = cfg.Topology.String()
 	}
 	return s, nil
 }
@@ -323,10 +337,14 @@ func SeriesFingerprint(name string, runs int, baseSeed uint64, base sim.Config) 
 	if base.Faults.Active() {
 		faults = base.Faults.String()
 	}
-	opaque := fmt.Sprintf("opaque|%d|%d|%d|%d|%T%+v|%T%+v|%s|%d|%d|%v",
+	topo := ""
+	if base.Topology.Active() {
+		topo = base.Topology.String()
+	}
+	opaque := fmt.Sprintf("opaque|%d|%d|%d|%d|%T%+v|%T%+v|%s|%s|%d|%d|%v",
 		base.N, base.F, base.Horizon, base.MaxEvents,
 		base.Protocol, base.Protocol, base.Adversary, base.Adversary,
-		faults, base.StallWindow, base.StatsEvery, base.KeepPerProcess)
+		faults, topo, base.StallWindow, base.StatsEvery, base.KeepPerProcess)
 	return sum64([]byte(prefix + opaque))
 }
 

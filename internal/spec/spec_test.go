@@ -82,6 +82,8 @@ func TestFingerprintMovesWithOutcomeFields(t *testing.T) {
 	add("horizon", func(s *Spec) { s.Horizon = 1000 })
 	add("max events", func(s *Spec) { s.MaxEvents = 1 << 20 })
 	add("faults", func(s *Spec) { s.Faults = "drop=0.1" })
+	add("topology", func(s *Spec) { s.Topology = "ring" })
+	add("topology param", func(s *Spec) { s.Topology = "k-regular,k=6" })
 	add("stall window", func(s *Spec) { s.StallWindow = 4096 })
 	add("stats every", func(s *Spec) { s.StatsEvery = 10 })
 	add("keep per process", func(s *Spec) { s.KeepPerProcess = true })
@@ -183,6 +185,8 @@ func TestValidationErrors(t *testing.T) {
 		{"n too small", `{"protocol":"ears","n":0,"f":0}`, "n", ""},
 		{"f out of range", `{"protocol":"ears","n":10,"f":10}`, "f", ""},
 		{"bad faults", `{"protocol":"ears","n":10,"f":1,"faults":"zap=1"}`, "faults", ""},
+		{"bad topology kind", `{"protocol":"ears","n":10,"f":1,"topology":"warp"}`, "topology", ""},
+		{"bad topology degree", `{"protocol":"ears","n":10,"f":1,"topology":"k-regular,k=3"}`, "topology", ""},
 		{"bad version", `{"v":9,"protocol":"ears","n":10,"f":1}`, "v", ""},
 		{"unknown field", `{"protocol":"ears","n":10,"f":1,"bogus":true}`, "", ""},
 	}
@@ -220,6 +224,47 @@ func TestSeriesFingerprintFallback(t *testing.T) {
 	withStall.StallWindow = 100
 	if got := SeriesFingerprint("s", 5, 1, withStall); got == fp {
 		t.Error("fallback fingerprint ignored the stall window")
+	}
+	withTopo := base
+	withTopo.Topology = &sim.Topology{Kind: "ring"}
+	if got := SeriesFingerprint("s", 5, 1, withTopo); got == fp {
+		t.Error("fallback fingerprint ignored the topology")
+	}
+}
+
+// TestTopologyCompleteElides: the complete graph is the default and must
+// elide from canonical form — "" and "complete" fingerprint identically,
+// so every pre-topology spec keeps its fingerprint (the default-elision
+// rule that keeps the encoding at version 1).
+func TestTopologyCompleteElides(t *testing.T) {
+	base := Spec{Protocol: "ears", N: 20, F: 2, Seed: 5}
+	complete := base
+	complete.Topology = "complete"
+	if got, want := complete.Fingerprint(), base.Fingerprint(); got != want {
+		t.Errorf("explicit complete topology moved the fingerprint: %s vs %s", got, want)
+	}
+	cj, err := complete.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(cj), "topology") {
+		t.Errorf("canonical JSON of a complete topology carries the field: %s", cj)
+	}
+	// Seeded kinds round-trip with defaults spelled out: parse ∘ String
+	// is the identity, so elided parameters canonicalize to one form.
+	short := base
+	short.Topology = "expander"
+	long := base
+	long.Topology = "expander,k=4,seed=0"
+	if short.Fingerprint() != long.Fingerprint() {
+		t.Error("elided expander defaults changed the fingerprint")
+	}
+	canon, err := short.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Topology != "expander,k=4,seed=0" {
+		t.Errorf("canonical topology = %q, want expander,k=4,seed=0", canon.Topology)
 	}
 }
 

@@ -5,25 +5,28 @@
 #   scripts/bench.sh [out.json] [benchtime] [baseline.json]
 #
 # Runs the scheduler-sensitive engine benchmarks (BenchmarkEngineLargeN,
-# BenchmarkEngineDelayHeavy, and the big-N scale runs BenchmarkEngineBigN
-# in internal/sim, plus the end-to-end benches at the repo root) with
-# allocation reporting, and writes the parsed results as JSON rows to the
-# output file (default BENCH_3.json, the post-sharded-commit baseline).
+# BenchmarkEngineDelayHeavy, BenchmarkRingTopology, and the big-N scale
+# runs BenchmarkEngineBigN in internal/sim, plus the end-to-end benches
+# at the repo root) with allocation reporting, and writes the parsed
+# results as JSON rows to the output file (default BENCH_4.json, the
+# post-topology-layer baseline).
 # Each benchmark runs BENCH_COUNT times (default 3) and the minimum ns/op
 # is recorded — the standard noise-robust reading. The big-N runs are one
 # iteration each regardless of benchtime: a 10⁶-process run is its own
 # steady state. With a baseline file (default BENCH_2.json when present),
 # each row additionally carries baseline_ns_per_op / delta_pct and
 # baseline_allocs_per_op / allocs_delta_pct — the changes versus the
-# baseline row of the same name. Time deltas across machines (or across a
+# baseline row of the same name (default baseline BENCH_3.json when
+# present; the topology benches are new in BENCH_4 and carry no
+# baseline columns). Time deltas across machines (or across a
 # busy machine's moods) are indicative only; allocation counts are
 # deterministic and comparable anywhere. scripts/bench_gate.sh benchmarks
 # both sides in one invocation and is the authoritative regression check.
 set -eu
 
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 benchtime="${2:-10x}"
-baseline="${3-BENCH_2.json}"
+baseline="${3-BENCH_3.json}"
 count="${BENCH_COUNT:-3}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -31,7 +34,7 @@ trap 'rm -f "$tmp"' EXIT
 cd "$(dirname "$0")/.."
 [ -f "$baseline" ] || baseline=""
 
-go test ./internal/sim/ -run '^$' -bench 'BenchmarkEngine(LargeN|DelayHeavy)' \
+go test ./internal/sim/ -run '^$' -bench 'Benchmark(Engine(LargeN|DelayHeavy)|RingTopology)' \
 	-benchtime "$benchtime" -count "$count" -timeout 1800s | tee "$tmp"
 go test ./internal/sim/ -run '^$' -bench 'BenchmarkEngineBigN' \
 	-benchtime 1x -count "$count" -timeout 1800s | tee -a "$tmp"

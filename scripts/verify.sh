@@ -15,13 +15,16 @@ go test -race -timeout 20m ./...
 
 # Full differential/property sweep (internal/simtest): engine vs the
 # naive reference engine, serial vs parallel, serial vs sharded commits,
-# same-seed determinism, and online trace validation, over 500 generated
+# same-seed determinism, and online trace validation, over 600 generated
 # configs per property — above the 224 a plain non-short `go test` uses
 # and far above the 48 of tier-1's -short mode. Roughly a quarter of the
 # generated configs carry an active fault plan (lossy links, partitions,
-# crash-recovery scripts) with a stall window, so the sweep covers the
-# fault pipeline and stall-safe termination on every property.
-UGF_PROPERTY_CONFIGS=500 go test -count=1 -timeout 20m -run 'TestProperty' ./internal/simtest/
+# crash-recovery scripts) and another quarter a non-complete topology
+# (ring, k-regular, expander, radio — with edge-edit scripts and the
+# rewire adversary in the mix), each paired with a stall window and an
+# event cutoff, so the sweep covers the fault pipeline, the edge-liveness
+# send path, and stall-safe termination on every property.
+UGF_PROPERTY_CONFIGS=600 go test -count=1 -timeout 20m -run 'TestProperty' ./internal/simtest/
 
 # Sharded-commit race band: the shards property again, under the race
 # detector, on a reduced config band. The plain sweep above proves the

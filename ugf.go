@@ -120,6 +120,11 @@ type (
 	FaultPlan = sim.FaultPlan
 	// LinkFault is the verdict of one FaultPlan roll.
 	LinkFault = sim.LinkFault
+	// Topology names a communication graph for Config.Topology; nil (or
+	// kind "complete") is the paper's all-to-all network.
+	Topology = sim.Topology
+	// Graph is a run's live communication-graph edge set.
+	Graph = sim.Graph
 	// JSONLTrace is the streaming JSONL TraceSink of sim/trace: full traces
 	// of large runs go to disk instead of RAM.
 	JSONLTrace = trace.JSONL
@@ -155,6 +160,11 @@ const (
 // "drop=0.1,dup=0.05,corrupt=0.01,seed=7" into a FaultPlan for
 // Config.Faults. An empty spec yields nil (no faults).
 func ParseFaultPlan(s string) (*FaultPlan, error) { return sim.ParseFaultPlan(s) }
+
+// ParseTopology parses a topology spec such as "ring", "k-regular,k=4",
+// "expander,k=4,seed=9", or "radio,k=3,seed=2" into a Topology for
+// Config.Topology. An empty spec yields nil (the complete graph).
+func ParseTopology(s string) (*Topology, error) { return sim.ParseTopology(s) }
 
 // AllKinds is the KindMask accepting every trace kind.
 const AllKinds = sim.AllKinds
@@ -235,6 +245,9 @@ type (
 	// CrashRecovery crashes up to ⌊F/2⌋ processes and later recovers each,
 	// mixing amnesiac and state-retaining restarts.
 	CrashRecovery = adversary.CrashRecovery
+	// Rewire obliviously mutates the communication graph within a fixed
+	// edge-edit budget (Config.Topology's dynamic-network adversary).
+	Rewire = adversary.Rewire
 )
 
 // Run executes one simulation to quiescence (or cutoff) and returns its
@@ -257,8 +270,8 @@ func ProtocolNames() []string { return gossip.Names() }
 // AdversaryByName looks an adversary up by name: "none" (nil), "ugf"
 // (the paper's fixed k = l = 1 setting), "ugf-sampled" (ζ(2)-sampled
 // exponents), "strategy-1", "strategy-2.1.0", "strategy-2.1.1",
-// "oblivious", "omission", "partition", or "crash-recovery". It is
-// adversary.ByName re-exported, mirroring ProtocolByName.
+// "oblivious", "omission", "partition", "crash-recovery", or "rewire".
+// It is adversary.ByName re-exported, mirroring ProtocolByName.
 func AdversaryByName(name string) (Adversary, bool) { return adversary.ByName(name) }
 
 // AdversaryNames lists the names AdversaryByName accepts.
