@@ -26,9 +26,11 @@ import (
 
 	"github.com/ugf-sim/ugf"
 	"github.com/ugf-sim/ugf/internal/cliflags"
+	"github.com/ugf-sim/ugf/internal/live"
 	"github.com/ugf-sim/ugf/internal/plot"
 	"github.com/ugf-sim/ugf/internal/runner"
 	"github.com/ugf-sim/ugf/internal/stats"
+	"github.com/ugf-sim/ugf/internal/xrand"
 )
 
 func main() {
@@ -51,6 +53,7 @@ func run(args []string, out io.Writer) error {
 		f          = fs.Int("f", -1, "crash budget F (default 0.3N)")
 		seed       = fs.Uint64("seed", 1, "random seed")
 		specArg    = fs.String("spec", "", "canonical run spec (inline JSON or @file); replaces -protocol/-adversary/-n/-f/-seed/-faults/-stall-window")
+		liveMode   = fs.Bool("live", false, "execute as real networked nodes (live-transport runtime) instead of the simulator")
 		runs       = fs.Int("runs", 1, "repetitions (summary statistics when > 1)")
 		workers    = fs.Int("workers", 0, "parallel runs (0: GOMAXPROCS)")
 		trace      = fs.Bool("trace", false, "stream the event trace as text (runs=1 only)")
@@ -66,6 +69,14 @@ func run(args []string, out io.Writer) error {
 	common.Warn(fs, os.Stderr)
 	if err := common.Validate(*trace || *traceOut != ""); err != nil {
 		return err
+	}
+	if *liveMode {
+		if err := cliflags.ValidateLiveMode(fs); err != nil {
+			return err
+		}
+		if *curve {
+			return fmt.Errorf("-curve is simulator-only: the live runtime has no snapshot sampler")
+		}
 	}
 
 	var cfg ugf.Config
@@ -183,7 +194,7 @@ func run(args []string, out io.Writer) error {
 					s.Now, s.Coverage, s.AwakeCorrect, s.Messages)
 			}
 		}
-		o, err := ugf.Run(cfg)
+		o, err := runOnce(cfg, *liveMode)
 		if err != nil {
 			return err
 		}
@@ -201,16 +212,34 @@ func run(args []string, out io.Writer) error {
 	if *trace || *traceOut != "" || common.Stats {
 		return fmt.Errorf("-trace, -traceout and -stats need runs=1 (got -runs %d)", *runs)
 	}
-	specs := []runner.Spec{{
-		Name: seriesName,
-		Base: cfg,
-		Runs: *runs, BaseSeed: *seed,
-	}}
-	results, err := runner.Execute(specs, *workers, nil)
-	if err != nil {
-		return err
+	var outs []ugf.Outcome
+	if *liveMode {
+		// Live repetitions run serially — each one is a real networked
+		// system of goroutine nodes — with the runner's per-run seed
+		// derivation, so run i of a scenario is the same execution a
+		// simulated sweep would label run i.
+		outs = make([]ugf.Outcome, *runs)
+		for i := range outs {
+			rcfg := cfg
+			rcfg.Seed = xrand.Derive(*seed, uint64(i))
+			o, err := runOnce(rcfg, true)
+			if err != nil {
+				return err
+			}
+			outs[i] = o
+		}
+	} else {
+		specs := []runner.Spec{{
+			Name: seriesName,
+			Base: cfg,
+			Runs: *runs, BaseSeed: *seed,
+		}}
+		results, err := runner.Execute(specs, *workers, nil)
+		if err != nil {
+			return err
+		}
+		outs = results[0].Outcomes
 	}
-	outs := results[0].Outcomes
 	if !*quiet {
 		for _, o := range outs {
 			if err := emit(o); err != nil {
@@ -269,6 +298,20 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out)
 	}
 	return nil
+}
+
+// runOnce dispatches one configured run to the simulator or, under
+// -live, to the live-transport runtime through the config projection
+// (which rejects simulator-only features with a structured error).
+func runOnce(cfg ugf.Config, liveMode bool) (ugf.Outcome, error) {
+	if !liveMode {
+		return ugf.Run(cfg)
+	}
+	lc, err := live.FromSimConfig(cfg)
+	if err != nil {
+		return ugf.Outcome{}, err
+	}
+	return live.Run(lc)
 }
 
 // printStats renders the run's engine statistics block (-stats).

@@ -84,6 +84,42 @@ func (c *Common) Validate(traceActive bool) error {
 	return nil
 }
 
+// ConflictError reports a flag combination a CLI rejects, naming both
+// sides so callers and tests can assert on the structure instead of the
+// prose.
+type ConflictError struct {
+	Flag string // the rejected flag, without its dash
+	Mode string // the mode it conflicts with, e.g. "-live"
+	Why  string
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("-%s conflicts with %s: %s", e.Flag, e.Mode, e.Why)
+}
+
+// liveSimOnly lists the flags that configure simulator machinery with no
+// live-runtime counterpart. They are rejected rather than ignored: a
+// command line that asks for commit shards or parallel runs and gets a
+// serial live execution would silently measure the wrong thing.
+var liveSimOnly = map[string]string{
+	"shards":  "the live runtime has no sharded commit phase; its nodes are always concurrent",
+	"workers": "live repetitions run serially, one networked system at a time",
+}
+
+// ValidateLiveMode rejects simulator-only flags that were explicitly set
+// on the parsed fs alongside the live-transport mode. Call it after
+// fs.Parse, only when -live was set; defaults are fine, only flags the
+// command line actually named conflict.
+func ValidateLiveMode(fs *flag.FlagSet) error {
+	var err error
+	fs.Visit(func(f *flag.Flag) {
+		if why, ok := liveSimOnly[f.Name]; ok && err == nil {
+			err = &ConflictError{Flag: f.Name, Mode: "-live", Why: why}
+		}
+	})
+	return err
+}
+
 // KindMask parses the -trace-kinds value into a kind mask; empty input
 // means all kinds (mask 0).
 func (c *Common) KindMask() (sim.KindMask, error) {

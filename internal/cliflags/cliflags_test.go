@@ -2,6 +2,7 @@ package cliflags
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"io"
 	"strings"
@@ -79,5 +80,41 @@ func TestParseKindMask(t *testing.T) {
 	}
 	if _, err := ParseKindMask("zap"); err == nil {
 		t.Error("unknown kind accepted")
+	}
+}
+
+func TestValidateLiveMode(t *testing.T) {
+	parse := func(args ...string) *flag.FlagSet {
+		t.Helper()
+		c, fs := newSet(t)
+		_ = c
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+
+	if err := ValidateLiveMode(parse()); err != nil {
+		t.Errorf("no flags set: %v", err)
+	}
+	// Sim-only values at their defaults are fine; only explicit flags
+	// conflict.
+	if err := ValidateLiveMode(parse("-stats")); err != nil {
+		t.Errorf("unrelated flag rejected: %v", err)
+	}
+
+	err := ValidateLiveMode(parse("-shards", "2"))
+	if err == nil {
+		t.Fatal("-shards accepted in live mode")
+	}
+	var conflict *ConflictError
+	if !errors.As(err, &conflict) {
+		t.Fatalf("error %T is not a *ConflictError", err)
+	}
+	if conflict.Flag != "shards" || conflict.Mode != "-live" || conflict.Why == "" {
+		t.Errorf("conflict fields: %+v", conflict)
+	}
+	if !strings.Contains(err.Error(), "-shards") || !strings.Contains(err.Error(), "-live") {
+		t.Errorf("error text %q names neither flag nor mode", err)
 	}
 }

@@ -1,0 +1,85 @@
+package live
+
+import (
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+// interposer is the UGF adversary recast as a network middlebox: it sits
+// on every link and decides, per message, whether the network drops,
+// duplicates, corrupts, or delays it, and per (node, step) whether the
+// node's sends are omitted — plus a frozen crash schedule applied by the
+// coordinator. Every verdict is a pure hash of the plans' seeds and the
+// message coordinates (sim.FaultRoll), never of wall-clock time or arrival
+// order, so a live run's fault pattern is reproducible bit for bit and —
+// for the shared link-fault plan — identical to the simulator's on the
+// same seed. All methods are pure functions; node goroutines call them
+// concurrently.
+type interposer struct {
+	faults *sim.FaultPlan
+	delay  *DelayPlan
+	omit   *OmitPlan
+}
+
+func newInterposer(cfg *Config) *interposer {
+	itp := &interposer{}
+	if cfg.Faults.Active() {
+		itp.faults = cfg.Faults
+	}
+	if cfg.Delay != nil && cfg.Delay.Prob > 0 {
+		itp.delay = cfg.Delay
+	}
+	if cfg.Omit != nil && cfg.Omit.Prob > 0 {
+		itp.omit = cfg.Omit
+	}
+	return itp
+}
+
+// omitted reports whether node p's sends at step t are all suppressed,
+// mirroring the simulator's per-step omission flag (Control.SetOmitFrom):
+// omitted sends count in M(O) but never reach the network.
+func (itp *interposer) omitted(p sim.ProcID, t sim.Step) bool {
+	if itp.omit == nil {
+		return false
+	}
+	return sim.FaultRoll(itp.omit.Seed, sim.DomainLiveOmit,
+		uint64(p), uint64(t)) < itp.omit.Prob
+}
+
+// linkFault returns the fault plan's verdict for one message — the same
+// FaultPlan.Roll the simulator's commit path uses, so a live and a
+// simulated run with the same plan agree per message.
+func (itp *interposer) linkFault(from, to sim.ProcID, sentAt sim.Step, seq int64) sim.LinkFault {
+	if itp.faults == nil {
+		return sim.FaultNone
+	}
+	return itp.faults.Roll(from, to, sentAt, seq)
+}
+
+// extraDelay returns the additional in-flight steps the interposer holds
+// this message for, beyond the baseline delivery delay of 1. One roll
+// decides both the gate and the magnitude: a message delayed at all gains
+// a uniform 1..Max extra steps.
+func (itp *interposer) extraDelay(from, to sim.ProcID, sentAt sim.Step, seq int64) sim.Step {
+	if itp.delay == nil {
+		return 0
+	}
+	x := sim.FaultRoll(itp.delay.Seed, sim.DomainLiveDelay,
+		uint64(from), uint64(to), uint64(sentAt), uint64(seq))
+	if x >= itp.delay.Prob {
+		return 0
+	}
+	d := 1 + sim.Step(x/itp.delay.Prob*float64(itp.delay.Max))
+	if d > itp.delay.Max {
+		d = itp.delay.Max
+	}
+	return d
+}
+
+// corruptBit picks which payload bit a corrupt verdict flips on the real
+// frame. Any deterministic function of the message coordinates works —
+// the receiver detects the damage through the payload checksum, it never
+// reads the value — so this is a cheap mix, not another hash roll.
+func corruptBit(from, to sim.ProcID, sentAt sim.Step, seq int64) uint64 {
+	return uint64(seq)*0x9e3779b97f4a7c15 ^ uint64(sentAt)<<17 ^
+		uint64(from)<<9 ^ uint64(to)
+}

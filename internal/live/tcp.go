@@ -1,0 +1,181 @@
+package live
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/ugf-sim/ugf/internal/live/wire"
+)
+
+// TCPTransport carries frames over loopback TCP sockets: one listener per
+// node (its inbox address), with sender-side connections dialed lazily per
+// directed link on first use. Frames travel exactly as wire encodes them —
+// the u32 length prefix doubles as the stream delimiter — so a packet
+// capture of a live run is a sequence of wire frames.
+//
+// It exists to prove the runtime against a real kernel-mediated byte
+// stream (socket buffering, partial reads, connection setup); the channel
+// transport remains the default. N² lazy connections make it a small-N
+// tool.
+type TCPTransport struct {
+	n     int
+	lns   []net.Listener
+	addrs []string
+
+	streams []chan []byte
+
+	connMu sync.Mutex
+	conns  map[int]*tcpConn // directed link key from*n+to
+
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// tcpConn serializes frame writes on one directed link.
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// NewTCPTransport listens on n loopback ports and starts the accept and
+// read loops. The caller must Close it (the runtime does).
+func NewTCPTransport(n int) (*TCPTransport, error) {
+	tr := &TCPTransport{
+		n:       n,
+		lns:     make([]net.Listener, n),
+		addrs:   make([]string, n),
+		streams: make([]chan []byte, n),
+		conns:   make(map[int]*tcpConn),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tr.Close()
+			return nil, fmt.Errorf("live: listen for node %d: %w", i, err)
+		}
+		tr.lns[i] = ln
+		tr.addrs[i] = ln.Addr().String()
+		tr.streams[i] = make(chan []byte, chanBuffer)
+		tr.wg.Add(1)
+		go tr.acceptLoop(i, ln)
+	}
+	return tr, nil
+}
+
+func (tr *TCPTransport) acceptLoop(id int, ln net.Listener) {
+	defer tr.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		tr.wg.Add(1)
+		go tr.readLoop(id, c)
+	}
+}
+
+// readLoop moves whole frames from one accepted connection into node id's
+// stream, re-attaching the length prefix so the stream carries the same
+// framed bytes the channel transport does.
+func (tr *TCPTransport) readLoop(id int, c net.Conn) {
+	defer tr.wg.Done()
+	defer c.Close()
+	br := bufio.NewReader(c)
+	for {
+		var pfx [4]byte
+		if _, err := io.ReadFull(br, pfx[:]); err != nil {
+			return // peer closed (clean between frames) or transport down
+		}
+		size := binary.BigEndian.Uint32(pfx[:])
+		if size == 0 || size > wire.MaxFrameSize {
+			return // poisoned stream; drop the connection
+		}
+		frame := make([]byte, 4+size)
+		copy(frame, pfx[:])
+		if _, err := io.ReadFull(br, frame[4:]); err != nil {
+			return
+		}
+		select {
+		case tr.streams[id] <- frame:
+		case <-tr.done:
+			return
+		}
+	}
+}
+
+// Send implements Transport, dialing the link's connection on first use.
+func (tr *TCPTransport) Send(from, to int, frame []byte) error {
+	if to < 0 || to >= tr.n {
+		return fmt.Errorf("live: send to node %d of %d", to, tr.n)
+	}
+	select {
+	case <-tr.done:
+		return ErrTransportClosed
+	default:
+	}
+	tc, err := tr.conn(from, to)
+	if err != nil {
+		return err
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if _, err := tc.c.Write(frame); err != nil {
+		return fmt.Errorf("live: write %d→%d: %w", from, to, err)
+	}
+	return nil
+}
+
+func (tr *TCPTransport) conn(from, to int) (*tcpConn, error) {
+	key := from*tr.n + to
+	tr.connMu.Lock()
+	defer tr.connMu.Unlock()
+	if tc, ok := tr.conns[key]; ok {
+		return tc, nil
+	}
+	c, err := net.Dial("tcp", tr.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("live: dial %d→%d: %w", from, to, err)
+	}
+	tc := &tcpConn{c: c}
+	tr.conns[key] = tc
+	return tc, nil
+}
+
+// Recv implements Transport.
+func (tr *TCPTransport) Recv(id int) <-chan []byte { return tr.streams[id] }
+
+// Close implements Transport.
+func (tr *TCPTransport) Close() error {
+	tr.mu.Lock()
+	if tr.closed {
+		tr.mu.Unlock()
+		return nil
+	}
+	tr.closed = true
+	close(tr.done)
+	tr.mu.Unlock()
+
+	var errs []error
+	for _, ln := range tr.lns {
+		if ln != nil {
+			if err := ln.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	tr.connMu.Lock()
+	for _, tc := range tr.conns {
+		tc.c.Close()
+	}
+	tr.connMu.Unlock()
+	tr.wg.Wait()
+	return errors.Join(errs...)
+}

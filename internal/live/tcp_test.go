@@ -1,0 +1,51 @@
+package live_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ugf-sim/ugf/internal/live"
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/simtest"
+)
+
+// TestTCPTransportMatchesSim runs the live runtime over real loopback TCP
+// sockets — every frame crosses the kernel's network stack — and holds
+// the outcome to the same bit-exact oracle equality as the in-process
+// transport. The coordinator's barrier, not the transport, is what makes
+// the run deterministic; this is the test that proves it.
+func TestTCPTransportMatchesSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback sockets in -short")
+	}
+	for _, name := range []string{"push-pull", "ears"} {
+		for _, seed := range []uint64{1, 2} {
+			simCfg := sim.Config{
+				N: 12, Protocol: proto(t, name), Seed: seed,
+				Faults:         &sim.FaultPlan{Seed: 5, Drop: 0.1, Duplicate: 0.05, Corrupt: 0.05},
+				KeepPerProcess: true,
+			}
+			want, err := sim.Run(simCfg)
+			if err != nil {
+				t.Fatalf("%s/seed=%d: sim: %v", name, seed, err)
+			}
+			liveCfg, err := live.FromSimConfig(simCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := live.NewTCPTransport(simCfg.N)
+			if err != nil {
+				t.Fatalf("%s/seed=%d: transport: %v", name, seed, err)
+			}
+			liveCfg.Transport = tr
+			got, err := live.Run(liveCfg)
+			if err != nil {
+				t.Fatalf("%s/seed=%d: live over TCP: %v", name, seed, err)
+			}
+			if diffs := simtest.DiffOutcomes(got, want); len(diffs) != 0 {
+				t.Errorf("%s/seed=%d: TCP run diverges from sim:\n  %s",
+					name, seed, strings.Join(diffs, "\n  "))
+			}
+		}
+	}
+}

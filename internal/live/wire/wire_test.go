@@ -1,0 +1,293 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/ugf-sim/ugf/internal/sim"
+)
+
+// Test payload kinds, registered once for this package's tests under
+// names no protocol uses (the registry is global and permanent).
+type testPayload struct{ V int64 }
+
+func (testPayload) Kind() string { return "test-v" }
+
+type testEmpty struct{}
+
+func (testEmpty) Kind() string { return "test-empty" }
+
+func init() {
+	RegisterPayload(PayloadCodec{
+		Kind: testPayload{}.Kind(),
+		Encode: func(dst []byte, pl sim.Payload) ([]byte, error) {
+			p, ok := pl.(testPayload)
+			if !ok {
+				return nil, fmt.Errorf("bad type %T", pl)
+			}
+			return append(dst, byte(p.V), byte(p.V>>8)), nil
+		},
+		Decode: func(data []byte) (sim.Payload, error) {
+			if len(data) != 2 {
+				return nil, fmt.Errorf("want 2 bytes, got %d", len(data))
+			}
+			return testPayload{V: int64(data[0]) | int64(data[1])<<8}, nil
+		},
+	})
+	RegisterPayload(PayloadCodec{
+		Kind: testEmpty{}.Kind(),
+		Encode: func(dst []byte, pl sim.Payload) ([]byte, error) {
+			if _, ok := pl.(testEmpty); !ok {
+				return nil, fmt.Errorf("bad type %T", pl)
+			}
+			return dst, nil
+		},
+		Decode: func(data []byte) (sim.Payload, error) {
+			if len(data) != 0 {
+				return nil, fmt.Errorf("want empty, got %d bytes", len(data))
+			}
+			return testEmpty{}, nil
+		},
+	})
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	envs := []Envelope{
+		{From: 0, To: 1, SentAt: 1, ArriveAt: 2, Seq: 1, Kind: "test-v", Payload: testPayload{V: 7}},
+		{From: 3, To: 250, SentAt: 900, ArriveAt: 905, Seq: 12345, Dup: true, Kind: "test-v", Payload: testPayload{V: 300}},
+		{From: 1 << 20, To: 0, SentAt: 1 << 40, ArriveAt: 1<<40 + 3, Seq: 1 << 50, Kind: "test-empty", Payload: testEmpty{}},
+	}
+	for i, want := range envs {
+		body, err := want.Encode()
+		if err != nil {
+			t.Fatalf("env %d: encode: %v", i, err)
+		}
+		got, err := DecodeEnvelope(body)
+		if err != nil {
+			t.Fatalf("env %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("env %d: round trip:\n got  %+v\n want %+v", i, got, want)
+		}
+	}
+}
+
+func TestEncodeRejectsBadFields(t *testing.T) {
+	base := Envelope{From: 0, To: 1, SentAt: 1, ArriveAt: 2, Seq: 1, Kind: "test-v", Payload: testPayload{}}
+	cases := []struct {
+		name string
+		mut  func(*Envelope)
+		want error
+	}{
+		{"negative from", func(e *Envelope) { e.From = -1 }, ErrFieldRange},
+		{"negative seq", func(e *Envelope) { e.Seq = -1 }, ErrFieldRange},
+		{"negative step", func(e *Envelope) { e.SentAt = -1 }, ErrFieldRange},
+		{"oversized kind", func(e *Envelope) { e.Kind = strings.Repeat("k", 300) }, ErrFieldRange},
+		{"unknown kind", func(e *Envelope) { e.Kind = "no-such-kind" }, ErrUnknownKind},
+	}
+	for _, tc := range cases {
+		env := base
+		tc.mut(&env)
+		if _, err := env.Encode(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// validBody returns a well-formed encoded body for tampering tests.
+func validBody(t *testing.T) []byte {
+	t.Helper()
+	env := Envelope{From: 2, To: 5, SentAt: 10, ArriveAt: 11, Seq: 42, Kind: "test-v", Payload: testPayload{V: 77}}
+	body, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestDecodeErrors(t *testing.T) {
+	body := validBody(t)
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrFrameTooShort},
+		{"truncated header", func(b []byte) []byte { return b[:3] }, ErrFrameTooShort},
+		{"truncated mid-payload", func(b []byte) []byte { return b[:len(b)-5] }, ErrFrameTooShort},
+		{"truncated payload crc", func(b []byte) []byte { return b[:len(b)-1] }, ErrFrameTooShort},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrBadMagic},
+		{"bad version", func(b []byte) []byte { b[1] = 99; return b }, ErrBadVersion},
+		{"flipped header byte", func(b []byte) []byte { b[4] ^= 0x01; return b }, ErrHeaderChecksum},
+		{"trailing bytes", func(b []byte) []byte { return append(b, 0xAA) }, ErrTrailingBytes},
+		{"oversized body", func(b []byte) []byte { return make([]byte, MaxFrameSize+1) }, ErrFrameTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mut(append([]byte(nil), body...))
+			env, err := DecodeEnvelope(b)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got err %v, want %v", err, tc.want)
+			}
+			if !reflect.DeepEqual(env, Envelope{}) {
+				t.Fatalf("unusable frame returned non-zero envelope %+v", env)
+			}
+		})
+	}
+}
+
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	inputs := [][]byte{
+		{},
+		{0x00},
+		{frameMagic},
+		{frameMagic, Version},
+		{frameMagic, Version, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		bytes.Repeat([]byte{0xFF}, 64),
+		bytes.Repeat([]byte{frameMagic}, 32),
+	}
+	for i, in := range inputs {
+		if _, err := DecodeEnvelope(in); err == nil {
+			t.Errorf("input %d: garbage decoded without error", i)
+		}
+	}
+}
+
+func TestPayloadChecksumKeepsHeader(t *testing.T) {
+	body := validBody(t)
+	// Flip the last payload byte (just before the 4 CRC bytes).
+	body[len(body)-5] ^= 0x80
+	env, err := DecodeEnvelope(body)
+	if !errors.Is(err, ErrPayloadChecksum) {
+		t.Fatalf("got err %v, want ErrPayloadChecksum", err)
+	}
+	if env.From != 2 || env.To != 5 || env.SentAt != 10 || env.ArriveAt != 11 || env.Seq != 42 || env.Kind != "test-v" {
+		t.Fatalf("header not preserved: %+v", env)
+	}
+	if env.Payload != nil {
+		t.Fatalf("corrupt payload decoded to %+v", env.Payload)
+	}
+}
+
+func TestCorruptBody(t *testing.T) {
+	for _, env := range []Envelope{
+		{From: 1, To: 2, SentAt: 3, ArriveAt: 4, Seq: 5, Kind: "test-v", Payload: testPayload{V: 9}},
+		// Empty payload: the flip must land in the payload CRC instead.
+		{From: 1, To: 2, SentAt: 3, ArriveAt: 4, Seq: 5, Kind: "test-empty", Payload: testEmpty{}},
+	} {
+		for bit := uint64(0); bit < 40; bit += 7 {
+			body, err := env.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CorruptBody(body, bit); err != nil {
+				t.Fatalf("%s bit %d: %v", env.Kind, bit, err)
+			}
+			got, err := DecodeEnvelope(body)
+			if !errors.Is(err, ErrPayloadChecksum) {
+				t.Fatalf("%s bit %d: got err %v, want ErrPayloadChecksum", env.Kind, bit, err)
+			}
+			if got.From != env.From || got.To != env.To || got.Kind != env.Kind {
+				t.Fatalf("%s bit %d: header damaged: %+v", env.Kind, bit, got)
+			}
+		}
+	}
+}
+
+func TestFraming(t *testing.T) {
+	body := validBody(t)
+
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, body); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, body); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("frame %d: body mismatch", i)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("got %v at stream end, want io.EOF", err)
+	}
+
+	framed := AppendFrame(nil, body)
+	got, err := ParseFrame(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatal("ParseFrame body mismatch")
+	}
+}
+
+func TestFramingErrors(t *testing.T) {
+	body := validBody(t)
+	framed := AppendFrame(nil, body)
+
+	if _, err := ParseFrame(framed[:2]); !errors.Is(err, ErrFrameTooShort) {
+		t.Errorf("short frame: got %v", err)
+	}
+	if _, err := ParseFrame(framed[:len(framed)-1]); !errors.Is(err, ErrFrameTooShort) {
+		t.Errorf("length mismatch: got %v", err)
+	}
+	huge := AppendFrame(nil, nil)
+	huge[0], huge[1] = 0xFF, 0xFF
+	if _, err := ParseFrame(huge); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("huge declared length: got %v", err)
+	}
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized WriteFrame: got %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(framed[:6])); !errors.Is(err, ErrFrameTooShort) {
+		t.Errorf("truncated stream: got %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("huge stream frame: got %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	kinds := RegisteredKinds()
+	found := 0
+	for _, k := range kinds {
+		if k == "test-v" || k == "test-empty" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("test kinds missing from registry: %v", kinds)
+	}
+	if _, err := EncodePayload("no-such-kind", nil); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("encode unknown kind: got %v", err)
+	}
+	if _, err := DecodePayload("no-such-kind", nil); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("decode unknown kind: got %v", err)
+	}
+	for _, bad := range []PayloadCodec{
+		{},
+		{Kind: "x"},
+		{Kind: "test-v", Encode: func(dst []byte, pl sim.Payload) ([]byte, error) { return dst, nil },
+			Decode: func(data []byte) (sim.Payload, error) { return nil, nil }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RegisterPayload(%+v) did not panic", bad)
+				}
+			}()
+			RegisterPayload(bad)
+		}()
+	}
+}

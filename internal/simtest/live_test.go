@@ -1,0 +1,113 @@
+package simtest
+
+import (
+	"testing"
+
+	"github.com/ugf-sim/ugf/internal/gossip"
+	"github.com/ugf-sim/ugf/internal/live"
+	"github.com/ugf-sim/ugf/internal/sim"
+	"github.com/ugf-sim/ugf/internal/stats"
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+// TestLiveMatchesSimStatistically is the statistical half of the live
+// oracle check. The exact half (internal/live's TestLiveMatchesSimExactly)
+// proves live ≡ sim bit for bit at equal seeds; this test proves the two
+// runtimes induce the same *distributions* when the seeds are disjoint —
+// the property that makes the simulator a valid oracle for live behavior
+// in general, not just a replay of it. For each spec it runs K seeds
+// through each runtime (different derivation branches, so no run is
+// shared), then requires:
+//
+//   - mean completion time (TEnd) and mean message count within a
+//     relative tolerance, and
+//   - a two-sample chi-squared test on the TEnd distributions that fails
+//     to reject "same distribution" at a conservative threshold.
+//
+// Everything is seeded, so the test is deterministic: it either holds for
+// these seed sets or marks a genuine semantic divergence.
+func TestLiveMatchesSimStatistically(t *testing.T) {
+	type spec struct {
+		name     string
+		protocol string
+		n        int
+		faults   *sim.FaultPlan
+	}
+	specs := []spec{
+		{"push-pull/n=64", "push-pull", 64, nil},
+		{"push-pull/n=64/faults", "push-pull", 64, &sim.FaultPlan{Seed: 31, Drop: 0.1, Duplicate: 0.05, Corrupt: 0.05}},
+		{"ears/n=64", "ears", 64, nil},
+		{"ears/n=256/faults", "ears", 256, &sim.FaultPlan{Seed: 37, Drop: 0.08, Duplicate: 0.04, Corrupt: 0.04}},
+	}
+	k := 16
+	if testing.Short() {
+		// The reduced band scripts/verify.sh runs under -race.
+		k = 6
+		specs = specs[:3]
+	}
+
+	for _, sp := range specs {
+		sp := sp
+		t.Run(sp.name, func(t *testing.T) {
+			t.Parallel()
+			protocol, ok := gossip.ByName(sp.protocol)
+			if !ok {
+				t.Fatalf("protocol %q not registered", sp.protocol)
+			}
+			var simT, liveT, simM, liveM []float64
+			for i := 0; i < k; i++ {
+				simSeed := xrand.Derive(0x51A7, uint64(i))
+				liveSeed := xrand.Derive(0x11FE, uint64(i))
+
+				so, err := sim.Run(sim.Config{N: sp.n, Protocol: protocol, Seed: simSeed, Faults: sp.faults})
+				if err != nil {
+					t.Fatalf("sim seed %d: %v", simSeed, err)
+				}
+				lo, err := live.Run(live.Config{N: sp.n, Protocol: protocol, Seed: liveSeed, Faults: sp.faults})
+				if err != nil {
+					t.Fatalf("live seed %d: %v", liveSeed, err)
+				}
+				if so.HorizonHit || lo.HorizonHit {
+					t.Fatalf("seed pair %d: cut off (sim=%v live=%v)", i, so.HorizonHit, lo.HorizonHit)
+				}
+				simT = append(simT, float64(so.TEnd))
+				liveT = append(liveT, float64(lo.TEnd))
+				simM = append(simM, float64(so.Messages))
+				liveM = append(liveM, float64(lo.Messages))
+			}
+
+			relDiff := func(a, b float64) float64 {
+				if m := max(a, b); m > 0 {
+					return abs(a-b) / m
+				}
+				return 0
+			}
+			if d := relDiff(stats.Mean(simT), stats.Mean(liveT)); d > 0.20 {
+				t.Errorf("mean TEnd diverges by %.1f%%: sim=%v live=%v",
+					100*d, stats.Mean(simT), stats.Mean(liveT))
+			}
+			if d := relDiff(stats.Mean(simM), stats.Mean(liveM)); d > 0.15 {
+				t.Errorf("mean Messages diverges by %.1f%%: sim=%v live=%v",
+					100*d, stats.Mean(simM), stats.Mean(liveM))
+			}
+			if chi, df, p := stats.ChiSquareTwoSample(simT, liveT, 4); p < 0.001 {
+				t.Errorf("TEnd distributions differ: chi²=%v df=%d p=%v (sim=%v live=%v)",
+					chi, df, p, simT, liveT)
+			}
+		})
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package stats
+
+import "math"
+
+// ChiSquareTwoSample tests whether two samples are drawn from the same
+// distribution, by binning both over their combined range into bins
+// equal-width cells and computing the two-sample chi-squared statistic
+//
+//	X² = Σ_i (√(N₂/N₁)·R_i − √(N₁/N₂)·S_i)² / (R_i + S_i)
+//
+// over the cells with any mass (R_i, S_i are the per-cell counts and the
+// scaling corrects for unequal sample sizes). It returns the statistic,
+// the degrees of freedom (occupied cells − 1), and the p-value — the
+// probability of a statistic at least this large under the null. Small p
+// rejects "same distribution". Degenerate inputs (an empty sample, or
+// all mass in one cell) return df = 0 and p = 1: no evidence either way.
+func ChiSquareTwoSample(xs, ys []float64, bins int) (stat float64, df int, p float64) {
+	if len(xs) == 0 || len(ys) == 0 || bins < 2 {
+		return 0, 0, 1
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	for _, v := range ys {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if !isFinite(lo) || !isFinite(hi) || lo == hi {
+		return 0, 0, 1
+	}
+	cell := func(v float64) int {
+		i := int(float64(bins) * (v - lo) / (hi - lo))
+		if i >= bins {
+			i = bins - 1
+		}
+		return i
+	}
+	r := make([]float64, bins)
+	s := make([]float64, bins)
+	for _, v := range xs {
+		r[cell(v)]++
+	}
+	for _, v := range ys {
+		s[cell(v)]++
+	}
+	k1 := math.Sqrt(float64(len(ys)) / float64(len(xs)))
+	k2 := math.Sqrt(float64(len(xs)) / float64(len(ys)))
+	occupied := 0
+	for i := 0; i < bins; i++ {
+		if r[i]+s[i] == 0 {
+			continue
+		}
+		occupied++
+		d := k1*r[i] - k2*s[i]
+		stat += d * d / (r[i] + s[i])
+	}
+	if occupied < 2 {
+		return stat, 0, 1
+	}
+	df = occupied - 1
+	return stat, df, ChiSquareP(stat, df)
+}
+
+// ChiSquareP returns the upper tail of the chi-squared distribution with
+// df degrees of freedom at stat: the probability that a chi-squared
+// variable exceeds stat. It is Q(df/2, stat/2), the regularized upper
+// incomplete gamma function.
+func ChiSquareP(stat float64, df int) float64 {
+	if df <= 0 || stat <= 0 || math.IsNaN(stat) {
+		return 1
+	}
+	return gammaQ(float64(df)/2, stat/2)
+}
+
+// gammaQ computes the regularized upper incomplete gamma function
+// Q(a, x) = Γ(a, x)/Γ(a) for a > 0, x ≥ 0, using the series expansion of
+// P(a, x) for x < a+1 and the continued fraction of Q(a, x) otherwise —
+// the standard split that keeps both expansions in their fast-converging
+// regimes.
+func gammaQ(a, x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQFraction(a, x)
+}
+
+const (
+	gammaIters = 400
+	gammaEps   = 1e-14
+)
+
+// gammaPSeries evaluates P(a, x) = γ(a, x)/Γ(a) by its power series.
+func gammaPSeries(a, x float64) float64 {
+	sum := 1.0 / a
+	term := sum
+	for n := 1; n <= gammaIters; n++ {
+		term *= x / (a + float64(n))
+		sum += term
+		if math.Abs(term) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQFraction evaluates Q(a, x) by the Lentz-form continued fraction
+//
+//	Q(a,x) = e^{-x} x^a / Γ(a) · 1/(x+1-a− 1·(1−a)/(x+3-a− …)).
+func gammaQFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaIters; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

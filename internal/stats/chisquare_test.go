@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ugf-sim/ugf/internal/xrand"
+)
+
+// TestChiSquarePKnownQuantiles pins the tail function against standard
+// chi-squared table values.
+func TestChiSquarePKnownQuantiles(t *testing.T) {
+	cases := []struct {
+		stat float64
+		df   int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{6.635, 1, 0.01},
+		{9.488, 4, 0.05},
+		{18.307, 10, 0.05},
+		{0, 3, 1},
+		{-1, 3, 1},
+		{5, 0, 1},
+	}
+	for _, tc := range cases {
+		got := ChiSquareP(tc.stat, tc.df)
+		if math.Abs(got-tc.want) > 5e-4 {
+			t.Errorf("ChiSquareP(%v, %d) = %v, want ≈ %v", tc.stat, tc.df, got, tc.want)
+		}
+	}
+}
+
+func sample(seed uint64, n int, gen func(*xrand.RNG) float64) []float64 {
+	rng := xrand.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = gen(rng)
+	}
+	return xs
+}
+
+// TestChiSquareTwoSample checks the discriminating power on seeded
+// synthetic data: same distribution → comfortably unrejected, clearly
+// shifted distribution → decisively rejected.
+func TestChiSquareTwoSample(t *testing.T) {
+	uniform := func(rng *xrand.RNG) float64 { return rng.Float64() }
+	shifted := func(rng *xrand.RNG) float64 { return rng.Float64() + 0.8 }
+
+	_, df, p := ChiSquareTwoSample(sample(1, 500, uniform), sample(2, 500, uniform), 8)
+	if df == 0 || p < 0.01 {
+		t.Errorf("same distribution rejected: df=%d p=%v", df, p)
+	}
+
+	_, df, p = ChiSquareTwoSample(sample(3, 500, uniform), sample(4, 500, shifted), 8)
+	if df == 0 || p > 1e-6 {
+		t.Errorf("shifted distribution not rejected: df=%d p=%v", df, p)
+	}
+
+	// Unequal sample sizes still work through the scaling factors.
+	_, df, p = ChiSquareTwoSample(sample(5, 200, uniform), sample(6, 800, uniform), 8)
+	if df == 0 || p < 0.01 {
+		t.Errorf("unequal sizes, same distribution rejected: df=%d p=%v", df, p)
+	}
+}
+
+// TestChiSquareTwoSampleDegenerate checks the no-evidence escapes.
+func TestChiSquareTwoSampleDegenerate(t *testing.T) {
+	for name, tc := range map[string]struct{ xs, ys []float64 }{
+		"empty a":     {nil, []float64{1, 2}},
+		"empty b":     {[]float64{1, 2}, nil},
+		"single cell": {[]float64{5, 5, 5}, []float64{5, 5}},
+	} {
+		if _, df, p := ChiSquareTwoSample(tc.xs, tc.ys, 8); df != 0 || p != 1 {
+			t.Errorf("%s: df=%d p=%v, want df=0 p=1", name, df, p)
+		}
+	}
+	if _, df, p := ChiSquareTwoSample([]float64{1, 2, 3}, []float64{1, 2, 3}, 1); df != 0 || p != 1 {
+		t.Errorf("bins=1: df=%d p=%v, want df=0 p=1", df, p)
+	}
+}

@@ -4,7 +4,7 @@
 #   scripts/fuzz.sh [fuzztime]
 #
 # fuzztime defaults to 20s (the CI fuzz-smoke budget); the nightly job
-# passes 120s (6 targets x 120s = 12 minutes). Checked-in seed corpora
+# passes 120s (7 targets x 120s = 14 minutes). Checked-in seed corpora
 # live in each package's testdata/fuzz/<FuzzName>/; go test runs those
 # even without -fuzz, so plain `go test ./...` is already a corpus
 # regression test. A crashing input is minimized and written to the same
@@ -22,3 +22,4 @@ go test -fuzz='^FuzzTopologySpec$'    -fuzztime="$FUZZTIME" -run '^$' ./internal
 go test -fuzz='^FuzzTraceRoundTrip$' -fuzztime="$FUZZTIME" -run '^$' ./internal/sim/trace
 go test -fuzz='^FuzzJournalTornTail$' -fuzztime="$FUZZTIME" -run '^$' ./internal/runner
 go test -fuzz='^FuzzZetaSampler$'     -fuzztime="$FUZZTIME" -run '^$' ./internal/xrand
+go test -fuzz='^FuzzWireCodec$'       -fuzztime="$FUZZTIME" -run '^$' ./internal/live/wire

@@ -31,3 +31,11 @@ UGF_PROPERTY_CONFIGS=600 go test -count=1 -timeout 20m -run 'TestProperty' ./int
 # merge is outcome-preserving; this run is what actually exercises the
 # shard lanes' no-shared-mutable-state claim (CI runs the same band).
 UGF_PROPERTY_CONFIGS=80 go test -race -count=1 -timeout 15m -run 'TestPropertyShardsMatchSerial' ./internal/simtest/
+
+# Live-transport oracle band: the full internal/live suite already ran in
+# the -race pass above (bit-exact live ≡ sim equality, audited traces,
+# TCP parity); this adds the reduced statistical-compatibility band —
+# disjoint seed sets through both runtimes, tolerance + chi-squared on
+# the outcome distributions — under the race detector with its own name
+# on the failure.
+go test -race -short -count=1 -timeout 10m -run 'TestLiveMatchesSimStatistically' ./internal/simtest/
